@@ -1,0 +1,28 @@
+// Command tetracompile compiles a Tetra program to Go source — the
+// reproduction of the paper's future-work native compiler (§VI), targeting
+// Go+goroutines where the paper suggested C+Pthreads.
+//
+// Usage:
+//
+//	tetracompile program.ttr            # writes program.go next to the input
+//	tetracompile -o out.go program.ttr
+//	tetracompile -stdout program.ttr    # print the generated source
+//
+// The generated file is a main package that imports repro/internal/gort;
+// build it from within this module:
+//
+//	tetracompile prog.ttr && go run prog.go
+//
+// The implementation lives in internal/cli so it can be tested as a
+// library.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.CompileMain(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,40 @@
+// Command tetradbg is Tetra's parallel debugger — the terminal stand-in for
+// the paper's Qt IDE (§III). Each Tetra thread has its own cursor; threads
+// are stepped independently, which is how students are meant to provoke and
+// observe race conditions and deadlocks.
+//
+// Usage:
+//
+//	tetradbg program.ttr               # interactive session (stops on entry)
+//	tetradbg -script cmds program.ttr  # run a command script (for CI/tests)
+//
+// Commands:
+//
+//	threads              show every thread, its position and next statement
+//	step <t>             run one statement on thread <t> (steps into calls)
+//	next <t>             run one statement on thread <t>, stepping over calls
+//	continue <t>         let thread <t> run freely
+//	pause <t>            park thread <t> at its next statement
+//	vars <t>             show the variables of thread <t>'s frame
+//	break <line>         set a breakpoint on a source line
+//	clear <line>         remove a breakpoint
+//	breaks               list breakpoints
+//	run                  resume all threads
+//	stop                 pause all threads
+//	wait [<t>]           wait until thread <t> (or any thread) pauses
+//	list                 print the program source with breakpoints marked
+//	quit                 end the session
+//
+// The implementation lives in internal/cli so it can be tested as a
+// library.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.DebugMain(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

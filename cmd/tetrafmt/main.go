@@ -1,0 +1,25 @@
+// Command tetrafmt formats Tetra source code canonically, in the spirit of
+// gofmt: 4-space indentation, normalized spacing around operators, minimal
+// parentheses. Formatting is parse → pretty-print over the same printer
+// the round-trip tests verify, so the output is always a program with the
+// identical syntax tree.
+//
+// Usage:
+//
+//	tetrafmt program.ttr          # print formatted source to stdout
+//	tetrafmt -w program.ttr ...   # rewrite files in place
+//	tetrafmt -l *.ttr             # list files that are not canonical
+//
+// Note: comments are not preserved (the AST does not carry them) — a
+// divergence from gofmt worth knowing before using -w on commented files.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.FormatMain(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,36 @@
+// Primes runs the first workload of the paper's evaluation (§IV): counting
+// primes with a parallel Tetra program, at several worker counts. It prints
+// the wall-clock table and the simulated-multicore table (see DESIGN.md §3
+// on the single-core substitution).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	limit := flag.Int("limit", 100000, "count primes below this limit")
+	flag.Parse()
+
+	mk := func(w int) string { return bench.PrimesSource(*limit, w) }
+	workers := []int{1, 2, 4, 8}
+
+	fmt.Printf("counting primes below %d (paper workload: first million primes)\n\n", *limit)
+
+	rows, err := bench.Speedup("primes", mk, workers, 1, bench.Interp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatTable("wall-clock, interpreter:", rows))
+
+	sim, err := bench.SimSpeedup("primes", mk, workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatSimTable("simulated multicore:", sim))
+	fmt.Printf("\nnative Go reference count: %d\n", bench.PrimesNative(*limit, 1))
+}

@@ -1,0 +1,35 @@
+// Tsp runs the second workload of the paper's evaluation (§IV): an exact
+// branch-and-bound travelling-salesman solve, parallelized over first-hop
+// branches, at several worker counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	n := flag.Int("n", 10, "number of cities")
+	flag.Parse()
+
+	mk := func(w int) string { return bench.TSPSource(*n, w) }
+	workers := []int{1, 2, 4, 8}
+
+	fmt.Printf("exact TSP over %d cities (deterministic instance)\n\n", *n)
+
+	rows, err := bench.Speedup("tsp", mk, workers, 1, bench.Interp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatTable("wall-clock, interpreter:", rows))
+
+	sim, err := bench.SimSpeedup("tsp", mk, workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatSimTable("simulated multicore:", sim))
+	fmt.Printf("\nnative Go reference tour length: %.2f\n", bench.TSPNative(*n, 1))
+}

@@ -1,0 +1,48 @@
+package repro
+
+import (
+	"bytes"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example main end to end (deliverable
+// check: the examples must stay runnable, not just compilable). Workload
+// examples get small-size flags to keep the suite fast.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries; skipped in -short")
+	}
+	cases := []struct {
+		dir   string
+		args  []string
+		wants []string
+	}{
+		{"quickstart", nil, []string{"10! = 3628800", "fact(20) = 2432902008176640000"}},
+		{"parallelsum", nil, []string{"5050", "forked 2 worker thread(s)", "sum([2,4,6,8,10]) = 30"}},
+		{"parallelmax", nil, []string{"96", "RACE on largest", "no races detected"}},
+		{"racelab", nil, []string{"RACE on count", "deadlock detected", "=== lesson 4"}},
+		{"mandelbrot", nil, []string{"rendered 24 rows in parallel", "@"}},
+		{"primes", []string{"-limit", "20000"}, []string{"simulated multicore", "native Go reference count: 2262"}},
+		{"tsp", []string{"-n", "8"}, []string{"simulated multicore", "native Go reference tour length:"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			args := append([]string{"run", "./examples/" + c.dir}, c.args...)
+			cmd := exec.Command("go", args...)
+			var out, errOut bytes.Buffer
+			cmd.Stdout = &out
+			cmd.Stderr = &errOut
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("example failed: %v\nstderr:\n%s", err, errOut.String())
+			}
+			for _, want := range c.wants {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("output missing %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}

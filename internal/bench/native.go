@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gogen"
+)
+
+// moduleRoot locates the repository's go.mod directory via the toolchain,
+// since compiled Tetra programs import repro/internal/gort and therefore
+// must build inside this module.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" || gomod == "NUL" {
+		return "", fmt.Errorf("not inside a Go module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// BuildCompiled compiles Tetra source to Go (internal/gogen) and then to a
+// native binary with the Go toolchain — the paper's future-work "compile it
+// to a native executable" path, end to end. It returns the binary path and
+// a cleanup function.
+func BuildCompiled(name, src string) (string, func(), error) {
+	prog, err := core.Compile(name, src)
+	if err != nil {
+		return "", nil, err
+	}
+	goSrc, err := gogen.Generate(prog)
+	if err != nil {
+		return "", nil, err
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		return "", nil, err
+	}
+	dir, err := os.MkdirTemp(root, ".tetrabench-native-*")
+	if err != nil {
+		return "", nil, err
+	}
+	cleanup := func() { os.RemoveAll(dir) }
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(goSrc), 0o644); err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	bin := filepath.Join(dir, "prog")
+	cmd := exec.Command("go", "build", "-o", bin, "./"+filepath.Base(dir))
+	cmd.Dir = root
+	var errOut bytes.Buffer
+	cmd.Stderr = &errOut
+	if err := cmd.Run(); err != nil {
+		cleanup()
+		return "", nil, fmt.Errorf("go build: %v: %s", err, errOut.String())
+	}
+	return bin, cleanup, nil
+}
+
+// RunBinary executes a compiled Tetra binary and times it.
+func RunBinary(bin, input string) (Result, error) {
+	cmd := exec.Command(bin)
+	cmd.Stdin = strings.NewReader(input)
+	var out, errOut bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errOut
+	start := time.Now()
+	err := cmd.Run()
+	elapsed := time.Since(start)
+	if err != nil {
+		return Result{}, fmt.Errorf("%v: %s", err, errOut.String())
+	}
+	return Result{Output: strings.TrimSpace(out.String()), Elapsed: elapsed}, nil
+}
+
+// HaveToolchain reports whether the Go toolchain is available for the
+// compiled-Tetra ablation rows.
+func HaveToolchain() bool {
+	_, err := moduleRoot()
+	return err == nil
+}

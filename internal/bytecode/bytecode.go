@@ -1,0 +1,107 @@
+// Package bytecode defines Tetra's bytecode instruction set and the
+// compiler from checked ASTs to bytecode.
+//
+// The paper lists a native-code compiler as future work (§VI): "compile
+// Tetra code into an efficient executable ... one could write a Tetra
+// program, run it through the IDE and step through it in the debugger when
+// it is being developed, then compile it to a native executable to run it
+// more efficiently." This package plays that role inside the reproduction:
+// a compact stack machine that removes the AST-walk dispatch overhead while
+// keeping the identical parallel runtime semantics (threads, shared cells,
+// named locks). The interpreter remains the debuggable path; the VM
+// (internal/vm) is the fast path; the two are differentially tested against
+// each other.
+//
+// Parallel constructs compile to sub-chunks: a parallel block with n child
+// statements becomes n consecutive chunks, launched by one OpParallel
+// instruction. Loops, conditionals and lock bodies compile inline with
+// explicit jumps; the compiler emits the lock releases needed when break,
+// continue or return exits a lock block early.
+package bytecode
+
+import "fmt"
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// The instruction set. A and B (and C where noted) are the operands of
+// Instr.
+const (
+	OpNop Op = iota
+
+	OpConst // push Consts[A]
+	OpTrue  // push true
+	OpFalse // push false
+
+	OpLoad  // push frame slot A
+	OpStore // pop into frame slot A
+
+	OpPop    // drop top of stack
+	OpToReal // convert int on top of stack to real
+
+	// Arithmetic and comparison; operands are popped right-then-left.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpNeg
+	OpNot
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+
+	OpJump        // pc = A
+	OpJumpIfFalse // pop; if false pc = A
+	OpJumpIfTrue  // pop; if true pc = A
+
+	OpCall        // call Funcs[A] with B args popped from the stack
+	OpCallBuiltin // call builtin A with B args
+	OpReturn      // pop return value and leave the function
+	OpReturnNone  // leave the function with no value
+
+	OpIndex      // pop index, pop array/string, push element
+	OpStoreIndex // pop value, pop index, pop array; store
+	OpArray      // pop A elements, push array with element type Types[B]
+	OpRange      // pop hi, pop lo, push [lo .. hi]
+
+	// OpForIter drives for-in loops. Slot A holds the sequence and slot A+1
+	// the iteration index (both hidden compiler slots); C is the induction
+	// variable slot. When the index passes the end, jump to B.
+	OpForIter
+
+	// Parallelism.
+	OpParallel   // spawn chunks [A, A+B) each on its own thread; join all
+	OpBackground // spawn chunks [A, A+B); do not join
+	// OpParFor pops the sequence and runs chunk A once per element on its
+	// own thread, with a private cell for induction slot C; joins all.
+	OpParFor
+
+	OpLockAcquire // acquire program lock A
+	OpLockRelease // release program lock A
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpConst: "const", OpTrue: "true", OpFalse: "false",
+	OpLoad: "load", OpStore: "store", OpPop: "pop", OpToReal: "toreal",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpNeg: "neg", OpNot: "not",
+	OpEq: "eq", OpNe: "ne", OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge",
+	OpJump: "jump", OpJumpIfFalse: "jfalse", OpJumpIfTrue: "jtrue",
+	OpCall: "call", OpCallBuiltin: "callb", OpReturn: "ret", OpReturnNone: "retnone",
+	OpIndex: "index", OpStoreIndex: "storeidx", OpArray: "array", OpRange: "range",
+	OpForIter:  "foriter",
+	OpParallel: "parallel", OpBackground: "background", OpParFor: "parfor",
+	OpLockAcquire: "lockacq", OpLockRelease: "lockrel",
+}
+
+// String returns the opcode mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}

@@ -1,0 +1,609 @@
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/token"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// Instr is one instruction. The meaning of A, B and C depends on the
+// opcode; see the Op constants.
+type Instr struct {
+	Op      Op
+	A, B, C int32
+}
+
+// Chunk is a straight-line-with-jumps code sequence. Pos parallels Code,
+// giving each instruction's source position for runtime errors.
+type Chunk struct {
+	Code []Instr
+	Pos  []token.Pos
+}
+
+// Func is one compiled function.
+type Func struct {
+	Name      string
+	NumParams int
+	NumSlots  int // includes parameters and compiler-hidden loop slots
+	Shared    bool
+	Result    *types.Type
+	Consts    []value.Value
+	Types     []*types.Type // element-type table for OpArray
+	Chunks    []Chunk       // Chunks[0] is the body; the rest are parallel sub-chunks
+}
+
+// Program is a fully compiled Tetra program.
+type Program struct {
+	Funcs     []*Func
+	LockNames []string
+	MainIndex int // -1 when the source has no main
+}
+
+// Compile lowers a checked AST program to bytecode.
+func Compile(p *ast.Program) (*Program, error) {
+	out := &Program{LockNames: p.LockNames, MainIndex: -1}
+	// Parameter types of every function, indexed by function index, used to
+	// widen int arguments into real parameters at call sites.
+	params := make([][]*types.Type, len(p.Funcs))
+	for i, f := range p.Funcs {
+		pts := make([]*types.Type, len(f.Params))
+		for j, prm := range f.Params {
+			pts[j] = prm.Type
+		}
+		params[i] = pts
+	}
+	for i, f := range p.Funcs {
+		cf, err := compileFunc(f, params)
+		if err != nil {
+			return nil, err
+		}
+		out.Funcs = append(out.Funcs, cf)
+		if f.Name == "main" {
+			out.MainIndex = i
+		}
+	}
+	return out, nil
+}
+
+type fnCompiler struct {
+	fn     *Func
+	src    *ast.FuncDecl
+	params [][]*types.Type // parameter types of every program function
+	// cur is the chunk being emitted into.
+	cur int
+	// nextHidden allocates hidden slots (loop sequence + index pairs).
+	nextHidden int
+	// lockDepth tracks enclosing lock blocks within the current chunk so
+	// early exits (return) can release them.
+	lockStack []int32
+	// loopLocks records how many locks were held when the innermost loop
+	// was entered, so break/continue release only locks acquired inside it.
+	loopLockBase []int
+	// breaks/continues collect jump placeholders per loop nesting level.
+	breaks    [][]int
+	continues [][]int
+}
+
+func compileFunc(f *ast.FuncDecl, params [][]*types.Type) (*Func, error) {
+	c := &fnCompiler{
+		params: params,
+		fn: &Func{
+			Name:      f.Name,
+			NumParams: len(f.Params),
+			Shared:    f.HasParallel,
+			Result:    f.Result,
+			Chunks:    make([]Chunk, 1),
+		},
+		src:        f,
+		nextHidden: f.NumSlots,
+	}
+	if err := c.block(f.Body); err != nil {
+		return nil, err
+	}
+	c.emit(OpReturnNone, 0, 0, 0, f.Pos())
+	c.fn.NumSlots = c.nextHidden
+	return c.fn, nil
+}
+
+func (c *fnCompiler) chunk() *Chunk { return &c.fn.Chunks[c.cur] }
+
+func (c *fnCompiler) emit(op Op, a, b, cc int32, pos token.Pos) int {
+	ch := c.chunk()
+	ch.Code = append(ch.Code, Instr{Op: op, A: a, B: b, C: cc})
+	ch.Pos = append(ch.Pos, pos)
+	return len(ch.Code) - 1
+}
+
+// patch sets the A operand (jump target) of the placeholder at index i to
+// the current pc.
+func (c *fnCompiler) patch(i int) {
+	c.chunk().Code[i].A = int32(len(c.chunk().Code))
+}
+
+func (c *fnCompiler) pc() int32 { return int32(len(c.chunk().Code)) }
+
+func (c *fnCompiler) constIndex(v value.Value) int32 {
+	for i, existing := range c.fn.Consts {
+		if existing.K == v.K && existing.B == v.B && existing.S == v.S && existing.A == v.A {
+			return int32(i)
+		}
+	}
+	c.fn.Consts = append(c.fn.Consts, v)
+	return int32(len(c.fn.Consts) - 1)
+}
+
+func (c *fnCompiler) typeIndex(t *types.Type) int32 {
+	for i, existing := range c.fn.Types {
+		if types.Equal(existing, t) {
+			return int32(i)
+		}
+	}
+	c.fn.Types = append(c.fn.Types, t)
+	return int32(len(c.fn.Types) - 1)
+}
+
+func (c *fnCompiler) block(b *ast.Block) error {
+	for _, s := range b.Stmts {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *fnCompiler) stmt(s ast.Stmt) error {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		call := s.X.(*ast.CallExpr)
+		if err := c.expr(call); err != nil {
+			return err
+		}
+		if call.Type() != nil {
+			c.emit(OpPop, 0, 0, 0, s.Pos())
+		}
+		return nil
+
+	case *ast.AssignStmt:
+		return c.assign(s)
+
+	case *ast.IfStmt:
+		if err := c.expr(s.Cond); err != nil {
+			return err
+		}
+		jElse := c.emit(OpJumpIfFalse, 0, 0, 0, s.Pos())
+		if err := c.block(s.Then); err != nil {
+			return err
+		}
+		if s.Else == nil {
+			c.patch(jElse)
+			return nil
+		}
+		jEnd := c.emit(OpJump, 0, 0, 0, s.Pos())
+		c.patch(jElse)
+		if err := c.block(s.Else); err != nil {
+			return err
+		}
+		c.patch(jEnd)
+		return nil
+
+	case *ast.WhileStmt:
+		top := c.pc()
+		if err := c.expr(s.Cond); err != nil {
+			return err
+		}
+		jExit := c.emit(OpJumpIfFalse, 0, 0, 0, s.Pos())
+		c.pushLoop()
+		if err := c.block(s.Body); err != nil {
+			return err
+		}
+		c.emit(OpJump, top, 0, 0, s.Pos())
+		c.popLoop(top)
+		c.patch(jExit)
+		return nil
+
+	case *ast.ForStmt:
+		if err := c.expr(s.Seq); err != nil {
+			return err
+		}
+		seqSlot := c.hidden2()
+		c.emit(OpConst, c.constIndex(value.NewInt(0)), 0, 0, s.Pos())
+		c.emit(OpStore, int32(seqSlot+1), 0, 0, s.Pos())
+		c.emit(OpStore, int32(seqSlot), 0, 0, s.Pos())
+		top := c.pc()
+		iter := c.emit(OpForIter, int32(seqSlot), 0, int32(s.Var.Slot), s.Pos())
+		c.pushLoop()
+		if err := c.block(s.Body); err != nil {
+			return err
+		}
+		c.emit(OpJump, top, 0, 0, s.Pos())
+		c.popLoop(top)
+		c.chunk().Code[iter].B = c.pc()
+		// break jumps land after the loop; exit target for iter is here too.
+		return nil
+
+	case *ast.ReturnStmt:
+		// Release any locks held in this chunk before leaving.
+		for i := len(c.lockStack) - 1; i >= 0; i-- {
+			c.emit(OpLockRelease, c.lockStack[i], 0, 0, s.Pos())
+		}
+		if s.Value == nil {
+			c.emit(OpReturnNone, 0, 0, 0, s.Pos())
+			return nil
+		}
+		if err := c.expr(s.Value); err != nil {
+			return err
+		}
+		c.widen(s.Value, c.fn.Result, s.Pos())
+		c.emit(OpReturn, 0, 0, 0, s.Pos())
+		return nil
+
+	case *ast.BreakStmt:
+		c.releaseLoopLocks(s.Pos())
+		j := c.emit(OpJump, 0, 0, 0, s.Pos())
+		n := len(c.breaks) - 1
+		c.breaks[n] = append(c.breaks[n], j)
+		return nil
+
+	case *ast.ContinueStmt:
+		c.releaseLoopLocks(s.Pos())
+		j := c.emit(OpJump, 0, 0, 0, s.Pos())
+		n := len(c.continues) - 1
+		c.continues[n] = append(c.continues[n], j)
+		return nil
+
+	case *ast.PassStmt:
+		return nil
+
+	case *ast.LockStmt:
+		c.emit(OpLockAcquire, int32(s.LockIndex), 0, 0, s.Pos())
+		c.lockStack = append(c.lockStack, int32(s.LockIndex))
+		if err := c.block(s.Body); err != nil {
+			return err
+		}
+		c.lockStack = c.lockStack[:len(c.lockStack)-1]
+		c.emit(OpLockRelease, int32(s.LockIndex), 0, 0, s.Pos())
+		return nil
+
+	case *ast.ParallelStmt:
+		first := len(c.fn.Chunks)
+		for _, child := range s.Body.Stmts {
+			if err := c.subChunk(func() error { return c.stmt(child) }); err != nil {
+				return err
+			}
+		}
+		c.emit(OpParallel, int32(first), int32(len(s.Body.Stmts)), 0, s.Pos())
+		return nil
+
+	case *ast.BackgroundStmt:
+		first := len(c.fn.Chunks)
+		for _, child := range s.Body.Stmts {
+			if err := c.subChunk(func() error { return c.stmt(child) }); err != nil {
+				return err
+			}
+		}
+		c.emit(OpBackground, int32(first), int32(len(s.Body.Stmts)), 0, s.Pos())
+		return nil
+
+	case *ast.ParallelForStmt:
+		if err := c.expr(s.Seq); err != nil {
+			return err
+		}
+		idx := len(c.fn.Chunks)
+		if err := c.subChunk(func() error { return c.block(s.Body) }); err != nil {
+			return err
+		}
+		c.emit(OpParFor, int32(idx), 0, int32(s.Var.Slot), s.Pos())
+		return nil
+	}
+	return fmt.Errorf("bytecode: unsupported statement %T", s)
+}
+
+// subChunk compiles body into a fresh chunk and restores the emission
+// context. Parallel bodies contain no break/continue/return that could
+// escape (the checker rejects them), so loop and lock state start empty.
+func (c *fnCompiler) subChunk(body func() error) error {
+	saveCur := c.cur
+	saveLocks := c.lockStack
+	saveLoopBase := c.loopLockBase
+	saveBreaks, saveConts := c.breaks, c.continues
+
+	c.fn.Chunks = append(c.fn.Chunks, Chunk{})
+	c.cur = len(c.fn.Chunks) - 1
+	c.lockStack = nil
+	c.loopLockBase = nil
+	c.breaks, c.continues = nil, nil
+
+	err := body()
+	c.emit(OpReturnNone, 0, 0, 0, c.src.Pos())
+
+	c.cur = saveCur
+	c.lockStack = saveLocks
+	c.loopLockBase = saveLoopBase
+	c.breaks, c.continues = saveBreaks, saveConts
+	return err
+}
+
+// hidden2 allocates two consecutive hidden slots (sequence, index).
+func (c *fnCompiler) hidden2() int {
+	s := c.nextHidden
+	c.nextHidden += 2
+	return s
+}
+
+func (c *fnCompiler) pushLoop() {
+	c.breaks = append(c.breaks, nil)
+	c.continues = append(c.continues, nil)
+	c.loopLockBase = append(c.loopLockBase, len(c.lockStack))
+}
+
+// popLoop patches break jumps to fall here (after the loop's back-jump) and
+// continue jumps to the loop head.
+func (c *fnCompiler) popLoop(continueTarget int32) {
+	n := len(c.breaks) - 1
+	for _, j := range c.breaks[n] {
+		c.patch(j)
+	}
+	for _, j := range c.continues[n] {
+		c.chunk().Code[j].A = continueTarget
+	}
+	c.breaks = c.breaks[:n]
+	c.continues = c.continues[:n]
+	c.loopLockBase = c.loopLockBase[:len(c.loopLockBase)-1]
+}
+
+// releaseLoopLocks emits releases for locks acquired inside the innermost
+// loop, for break/continue paths.
+func (c *fnCompiler) releaseLoopLocks(pos token.Pos) {
+	if len(c.loopLockBase) == 0 {
+		return
+	}
+	base := c.loopLockBase[len(c.loopLockBase)-1]
+	for i := len(c.lockStack) - 1; i >= base; i-- {
+		c.emit(OpLockRelease, c.lockStack[i], 0, 0, pos)
+	}
+}
+
+func (c *fnCompiler) assign(s *ast.AssignStmt) error {
+	switch target := s.Target.(type) {
+	case *ast.Ident:
+		if s.Op != token.ASSIGN {
+			c.emit(OpLoad, int32(target.Slot), 0, 0, target.Pos())
+		}
+		if err := c.expr(s.Value); err != nil {
+			return err
+		}
+		if s.Op != token.ASSIGN {
+			c.emit(augToOp(s.Op), 0, 0, 0, s.OpPos)
+		} else {
+			c.widen(s.Value, target.Type(), s.OpPos)
+		}
+		if s.Op != token.ASSIGN && target.Type().Kind() == types.Real {
+			c.emit(OpToReal, 0, 0, 0, s.OpPos)
+		}
+		c.emit(OpStore, int32(target.Slot), 0, 0, s.Pos())
+		return nil
+
+	case *ast.IndexExpr:
+		if err := c.expr(target.X); err != nil {
+			return err
+		}
+		if err := c.expr(target.Index); err != nil {
+			return err
+		}
+		if s.Op != token.ASSIGN {
+			// Recompute array and index for the read; the stack holds
+			// (arr, idx) — duplicate via re-evaluation, which is safe
+			// because the checker only allows simple expressions here and
+			// side effects in index expressions are calls, re-run
+			// identically. To avoid double side effects we evaluate into
+			// hidden slots instead.
+			arrSlot := c.hidden2()
+			c.emit(OpStore, int32(arrSlot+1), 0, 0, s.Pos()) // idx
+			c.emit(OpStore, int32(arrSlot), 0, 0, s.Pos())   // arr
+			c.emit(OpLoad, int32(arrSlot), 0, 0, s.Pos())
+			c.emit(OpLoad, int32(arrSlot+1), 0, 0, s.Pos())
+			c.emit(OpLoad, int32(arrSlot), 0, 0, s.Pos())
+			c.emit(OpLoad, int32(arrSlot+1), 0, 0, s.Pos())
+			c.emit(OpIndex, 0, 0, 0, s.Pos())
+			if err := c.expr(s.Value); err != nil {
+				return err
+			}
+			c.emit(augToOp(s.Op), 0, 0, 0, s.OpPos)
+			if target.Type().Kind() == types.Real {
+				c.emit(OpToReal, 0, 0, 0, s.OpPos)
+			}
+			c.emit(OpStoreIndex, 0, 0, 0, s.Pos())
+			return nil
+		}
+		if err := c.expr(s.Value); err != nil {
+			return err
+		}
+		c.widen(s.Value, target.Type(), s.OpPos)
+		c.emit(OpStoreIndex, 0, 0, 0, s.Pos())
+		return nil
+	}
+	return fmt.Errorf("bytecode: bad assignment target %T", s.Target)
+}
+
+func augToOp(k token.Kind) Op {
+	switch k {
+	case token.PLUSASSIGN:
+		return OpAdd
+	case token.MINUSASSIGN:
+		return OpSub
+	case token.STARASSIGN:
+		return OpMul
+	case token.SLASHASSIGN:
+		return OpDiv
+	default:
+		return OpMod
+	}
+}
+
+// widen emits OpToReal when a statically-int expression flows into a real
+// context.
+func (c *fnCompiler) widen(e ast.Expr, dst *types.Type, pos token.Pos) {
+	if dst.Kind() == types.Real && e.Type().Kind() == types.Int {
+		c.emit(OpToReal, 0, 0, 0, pos)
+	}
+}
+
+func (c *fnCompiler) expr(e ast.Expr) error {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		c.emit(OpConst, c.constIndex(value.NewInt(e.Value)), 0, 0, e.Pos())
+	case *ast.RealLit:
+		c.emit(OpConst, c.constIndex(value.NewReal(e.Value)), 0, 0, e.Pos())
+	case *ast.StringLit:
+		c.emit(OpConst, c.constIndex(value.NewString(e.Value)), 0, 0, e.Pos())
+	case *ast.BoolLit:
+		if e.Value {
+			c.emit(OpTrue, 0, 0, 0, e.Pos())
+		} else {
+			c.emit(OpFalse, 0, 0, 0, e.Pos())
+		}
+	case *ast.Ident:
+		c.emit(OpLoad, int32(e.Slot), 0, 0, e.Pos())
+
+	case *ast.ArrayLit:
+		elem := e.Type().Elem()
+		for _, el := range e.Elems {
+			if err := c.expr(el); err != nil {
+				return err
+			}
+			c.widen(el, elem, el.Pos())
+		}
+		c.emit(OpArray, int32(len(e.Elems)), c.typeIndex(elem), 0, e.Pos())
+
+	case *ast.RangeLit:
+		if err := c.expr(e.Lo); err != nil {
+			return err
+		}
+		if err := c.expr(e.Hi); err != nil {
+			return err
+		}
+		c.emit(OpRange, 0, 0, 0, e.Pos())
+
+	case *ast.UnaryExpr:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		if e.Op == token.NOT {
+			c.emit(OpNot, 0, 0, 0, e.Pos())
+		} else {
+			c.emit(OpNeg, 0, 0, 0, e.Pos())
+		}
+
+	case *ast.BinaryExpr:
+		return c.binary(e)
+
+	case *ast.IndexExpr:
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		if err := c.expr(e.Index); err != nil {
+			return err
+		}
+		c.emit(OpIndex, 0, 0, 0, e.Pos())
+
+	case *ast.CallExpr:
+		for i, a := range e.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+			if !e.IsBuiltin {
+				// Widen int args into real parameters.
+				c.widen(a, c.params[e.FuncIndex][i], a.Pos())
+			}
+		}
+		if e.IsBuiltin {
+			c.emit(OpCallBuiltin, int32(e.Builtin), int32(len(e.Args)), 0, e.Pos())
+		} else {
+			c.emit(OpCall, int32(e.FuncIndex), int32(len(e.Args)), 0, e.Pos())
+		}
+
+	default:
+		return fmt.Errorf("bytecode: unsupported expression %T", e)
+	}
+	return nil
+}
+
+func (c *fnCompiler) binary(e *ast.BinaryExpr) error {
+	// Short-circuit and/or compile to conditional jumps.
+	if e.Op == token.AND || e.Op == token.OR {
+		if err := c.expr(e.X); err != nil {
+			return err
+		}
+		var j int
+		if e.Op == token.AND {
+			j = c.emit(OpJumpIfFalse, 0, 0, 0, e.Pos())
+		} else {
+			j = c.emit(OpJumpIfTrue, 0, 0, 0, e.Pos())
+		}
+		if err := c.expr(e.Y); err != nil {
+			return err
+		}
+		jEnd := c.emit(OpJump, 0, 0, 0, e.Pos())
+		c.patch(j)
+		if e.Op == token.AND {
+			c.emit(OpFalse, 0, 0, 0, e.Pos())
+		} else {
+			c.emit(OpTrue, 0, 0, 0, e.Pos())
+		}
+		c.patch(jEnd)
+		return nil
+	}
+
+	if err := c.expr(e.X); err != nil {
+		return err
+	}
+	if err := c.expr(e.Y); err != nil {
+		return err
+	}
+	var op Op
+	switch e.Op {
+	case token.PLUS:
+		op = OpAdd
+	case token.MINUS:
+		op = OpSub
+	case token.STAR:
+		op = OpMul
+	case token.SLASH:
+		op = OpDiv
+	case token.PERCENT:
+		op = OpMod
+	case token.EQ:
+		op = OpEq
+	case token.NE:
+		op = OpNe
+	case token.LT:
+		op = OpLt
+	case token.LE:
+		op = OpLe
+	case token.GT:
+		op = OpGt
+	case token.GE:
+		op = OpGe
+	default:
+		return fmt.Errorf("bytecode: unsupported operator %s", e.Op)
+	}
+	c.emit(op, 0, 0, 0, e.Pos())
+	return nil
+}
+
+// Disassemble renders a compiled function for debugging and tests.
+func Disassemble(f *Func) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s (params=%d slots=%d shared=%v)\n", f.Name, f.NumParams, f.NumSlots, f.Shared)
+	for ci, ch := range f.Chunks {
+		fmt.Fprintf(&sb, " chunk %d:\n", ci)
+		for pc, ins := range ch.Code {
+			fmt.Fprintf(&sb, "  %4d %-10s %d %d %d\n", pc, ins.Op, ins.A, ins.B, ins.C)
+		}
+	}
+	return sb.String()
+}

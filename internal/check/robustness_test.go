@@ -1,0 +1,89 @@
+package check
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+// TestCheckerNeverPanics feeds the checker a large space of syntactically
+// valid but semantically arbitrary programs assembled from a grammar-ish
+// token soup. Programs may be rejected (that's the point); the checker
+// must reject with errors, never panic, and must behave deterministically.
+func TestCheckerNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	exprs := []string{
+		"1", "2.5", `"s"`, "true", "x", "y", "a", "f()", "f(1)", "g(x, y)",
+		"[1, 2]", "[]", "[1 .. 3]", "x + y", "x == y", `"a" + 1`, "not x",
+		"-x", "a[0]", "a[x]", "len(a)", "print(1)", "read_int()",
+		"sqrt(x)", "min(1)", "x and 1", "[1, \"s\"]", "zzz",
+	}
+	stmts := []string{
+		"x = %s", "y = %s", "a = %s", "x += %s", "a[0] = %s",
+		"print(%s)", "return %s", "break", "continue", "pass",
+	}
+	makeBody := func(depth int) string {
+		var sb strings.Builder
+		n := r.Intn(3) + 1
+		indent := strings.Repeat("    ", depth)
+		for i := 0; i < n; i++ {
+			switch r.Intn(7) {
+			case 0:
+				if depth < 3 {
+					sb.WriteString(indent + "if " + exprs[r.Intn(len(exprs))] + ":\n")
+					sb.WriteString(indent + "    pass\n")
+					continue
+				}
+				fallthrough
+			case 1:
+				if depth < 3 {
+					sb.WriteString(indent + "parallel:\n")
+					sb.WriteString(indent + "    pass\n")
+					continue
+				}
+				fallthrough
+			case 2:
+				if depth < 3 {
+					sb.WriteString(indent + "lock m:\n")
+					sb.WriteString(indent + "    pass\n")
+					continue
+				}
+				fallthrough
+			default:
+				st := stmts[r.Intn(len(stmts))]
+				if strings.Contains(st, "%s") {
+					st = strings.Replace(st, "%s", exprs[r.Intn(len(exprs))], 1)
+				}
+				sb.WriteString(indent + st + "\n")
+			}
+		}
+		return sb.String()
+	}
+
+	for i := 0; i < 500; i++ {
+		src := "def f() int:\n" + makeBody(1) + "\ndef g(x int, y real) real:\n" + makeBody(1) + "\ndef main():\n" + makeBody(1)
+		prog, err := parser.Parse("fuzz.ttr", src)
+		if err != nil {
+			continue // syntactically invalid combinations are fine
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("checker panicked: %v\nprogram:\n%s", rec, src)
+				}
+			}()
+			err1 := Check(prog)
+			// Determinism: re-parse and re-check must agree on acceptance.
+			prog2, perr := parser.Parse("fuzz.ttr", src)
+			if perr != nil {
+				t.Fatalf("reparse failed: %v", perr)
+			}
+			err2 := Check(prog2)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("nondeterministic checking:\n%s", src)
+			}
+		}()
+	}
+}

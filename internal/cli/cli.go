@@ -1,0 +1,123 @@
+// Package cli implements the tetra command (cmd/tetra is a thin wrapper),
+// so the whole tool surface — run, check, ast dump, VM execution, bytecode
+// disassembly, trace timeline, race and deadlock reports — is testable as
+// a library.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/ast"
+	"repro/internal/bytecode"
+	"repro/internal/core"
+	"repro/internal/deadlock"
+	"repro/internal/racedetect"
+	"repro/internal/trace"
+)
+
+// Main runs the tetra command with the given arguments (excluding the
+// program name) and streams. It returns the process exit code.
+func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tetra", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checkOnly := fs.Bool("check", false, "parse and type-check only")
+	printAST := fs.Bool("ast", false, "print the parsed program and exit")
+	doTrace := fs.Bool("trace", false, "print a per-thread execution timeline")
+	doRace := fs.Bool("race", false, "detect data races on shared variables")
+	doDeadlock := fs.Bool("deadlock", false, "analyze lock contention and deadlock")
+	noDetect := fs.Bool("no-detect", false, "disable live deadlock detection")
+	timelineRows := fs.Int("timeline", 200, "maximum timeline rows (0 = unlimited)")
+	useVM := fs.Bool("vm", false, "execute on the bytecode VM instead of the AST interpreter")
+	disasm := fs.Bool("disasm", false, "print the compiled bytecode and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: tetra [flags] program.ttr")
+		fs.PrintDefaults()
+		return 2
+	}
+
+	prog, err := core.CompileFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if *printAST {
+		fmt.Fprint(stdout, ast.Print(prog))
+		return 0
+	}
+	if *checkOnly {
+		fmt.Fprintf(stdout, "%s: ok (%d function(s), %d lock name(s))\n",
+			fs.Arg(0), len(prog.Funcs), len(prog.LockNames))
+		return 0
+	}
+	if *disasm {
+		bc, err := core.CompileBytecode(prog)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		for _, f := range bc.Funcs {
+			fmt.Fprint(stdout, bytecode.Disassemble(f))
+		}
+		return 0
+	}
+
+	cfg := core.Config{
+		Stdin:               stdin,
+		Stdout:              stdout,
+		NoDeadlockDetection: *noDetect,
+	}
+	var col *trace.Collector
+	if *doTrace || *doRace || *doDeadlock {
+		col = trace.NewCollector()
+		cfg.Tracer = col
+		cfg.TraceVars = *doRace
+	}
+
+	var runErr error
+	if *useVM {
+		runErr = core.RunVM(prog, cfg)
+	} else {
+		runErr = core.Run(prog, cfg)
+	}
+	if runErr != nil {
+		fmt.Fprintln(stderr, runErr)
+	}
+
+	if col != nil {
+		events := col.Events()
+		if *doTrace {
+			fmt.Fprintln(stdout, "\n--- execution timeline ---")
+			fmt.Fprint(stdout, trace.Timeline(events, *timelineRows))
+			s := trace.Summarize(events)
+			fmt.Fprintf(stdout, "threads=%d steps=%d lock-acquires=%d lock-waits=%d prints=%d\n",
+				s.Threads, s.Steps, s.LockAcquires, s.LockWaits, s.Outputs)
+		}
+		if *doRace {
+			fmt.Fprintln(stdout, "\n--- race report ---")
+			fmt.Fprint(stdout, racedetect.FormatReport(racedetect.Analyze(events)))
+		}
+		if *doDeadlock {
+			fmt.Fprintln(stdout, "\n--- lock report ---")
+			rep := deadlock.Analyze(events)
+			if rep.Deadlocked != nil {
+				fmt.Fprintln(stdout, "deadlock:", rep.Deadlocked)
+			} else {
+				fmt.Fprintln(stdout, "no deadlock in final state")
+			}
+			for name, n := range rep.Contention {
+				fmt.Fprintf(stdout, "lock %q: %d contended acquisition(s)\n", name, n)
+			}
+		}
+	}
+
+	if runErr != nil {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,62 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+// FormatMain runs the tetrafmt command (cmd/tetrafmt is a thin wrapper):
+// canonical formatting for Tetra source, gofmt-style. Formatting is
+// parse → pretty-print, so output is guaranteed to re-parse to an
+// identical tree (the property the parser's round-trip tests enforce).
+func FormatMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tetrafmt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	write := fs.Bool("w", false, "write the result back to the source file instead of stdout")
+	list := fs.Bool("l", false, "list files whose formatting differs; print nothing else")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "usage: tetrafmt [-w | -l] program.ttr ...")
+		return 2
+	}
+	exit := 0
+	for _, path := range fs.Args() {
+		if err := formatOne(path, *write, *list, stdout); err != nil {
+			fmt.Fprintln(stderr, err)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func formatOne(path string, write, list bool, stdout io.Writer) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := parser.Parse(path, string(src))
+	if err != nil {
+		return err
+	}
+	formatted := ast.Print(prog)
+	switch {
+	case list:
+		if formatted != string(src) {
+			fmt.Fprintln(stdout, path)
+		}
+	case write:
+		if formatted != string(src) {
+			return os.WriteFile(path, []byte(formatted), 0o644)
+		}
+	default:
+		fmt.Fprint(stdout, formatted)
+	}
+	return nil
+}

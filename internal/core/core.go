@@ -1,0 +1,140 @@
+// Package core wires Tetra's pipeline together: source text → lexer →
+// parser → checker → a runnable program, executed on either the
+// tree-walking interpreter or the bytecode VM. It is the paper's
+// "interpreter is written as a library" layer (§IV): the public tetra
+// facade, the CLI tools and the debugger all build on it.
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ast"
+	"repro/internal/bytecode"
+	"repro/internal/check"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/stdlib"
+	"repro/internal/trace"
+	"repro/internal/value"
+	"repro/internal/vm"
+)
+
+// Compile parses and checks Tetra source, returning the checked AST.
+func Compile(file, src string) (*ast.Program, error) {
+	prog, err := parser.Parse(file, src)
+	if err != nil {
+		return nil, err
+	}
+	if err := check.Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// CompileFile reads and compiles a .ttr source file.
+func CompileFile(path string) (*ast.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	return Compile(path, string(src))
+}
+
+// Config controls one execution.
+type Config struct {
+	Stdin  io.Reader // defaults to an empty reader
+	Stdout io.Writer // defaults to os.Stdout
+
+	Tracer    trace.Tracer
+	TraceVars bool
+	Step      interp.StepHook
+
+	NoWaitBackground    bool
+	NoDeadlockDetection bool
+}
+
+func (c *Config) fill() {
+	if c.Stdin == nil {
+		c.Stdin = emptyReader{}
+	}
+	if c.Stdout == nil {
+		c.Stdout = os.Stdout
+	}
+}
+
+type emptyReader struct{}
+
+func (emptyReader) Read([]byte) (int, error) { return 0, io.EOF }
+
+// NewInterp builds a configured interpreter for the program.
+func NewInterp(prog *ast.Program, cfg Config) *interp.Interp {
+	cfg.fill()
+	return interp.New(prog, interp.Options{
+		Env:                 stdlib.NewEnv(cfg.Stdin, cfg.Stdout),
+		Tracer:              cfg.Tracer,
+		TraceVars:           cfg.TraceVars,
+		Step:                cfg.Step,
+		NoWaitBackground:    cfg.NoWaitBackground,
+		NoDeadlockDetection: cfg.NoDeadlockDetection,
+	})
+}
+
+// Run executes the program's main function under the configuration.
+func Run(prog *ast.Program, cfg Config) error {
+	return NewInterp(prog, cfg).Run()
+}
+
+// Call invokes one function of the program with Tetra values, for
+// library-style embedding.
+func Call(prog *ast.Program, cfg Config, name string, args ...value.Value) (value.Value, error) {
+	return NewInterp(prog, cfg).Call(name, args...)
+}
+
+// RunProfiled executes the program on the interpreter with work counting
+// enabled and returns the per-thread work profile alongside any run error.
+func RunProfiled(prog *ast.Program, cfg Config) ([]interp.ThreadWork, error) {
+	cfg.fill()
+	in := interp.New(prog, interp.Options{
+		Env:              stdlib.NewEnv(cfg.Stdin, cfg.Stdout),
+		NoWaitBackground: cfg.NoWaitBackground,
+		CountWork:        true,
+	})
+	err := in.Run()
+	return in.WorkProfile(), err
+}
+
+// CompileBytecode lowers a checked program to bytecode for the VM backend.
+func CompileBytecode(prog *ast.Program) (*bytecode.Program, error) {
+	return bytecode.Compile(prog)
+}
+
+// NewVM builds a configured VM for the compiled program. The VM backend
+// ignores tracing and stepping configuration (it is the fast path; the
+// interpreter is the debuggable path).
+func NewVM(bc *bytecode.Program, cfg Config) *vm.VM {
+	cfg.fill()
+	return vm.New(bc, vm.Options{
+		Env:              stdlib.NewEnv(cfg.Stdin, cfg.Stdout),
+		NoWaitBackground: cfg.NoWaitBackground,
+	})
+}
+
+// RunVM compiles the checked program to bytecode and executes it on the VM.
+func RunVM(prog *ast.Program, cfg Config) error {
+	bc, err := CompileBytecode(prog)
+	if err != nil {
+		return err
+	}
+	return NewVM(bc, cfg).Run()
+}
+
+// CallVM invokes one function on the VM backend.
+func CallVM(prog *ast.Program, cfg Config, name string, args ...value.Value) (value.Value, error) {
+	bc, err := CompileBytecode(prog)
+	if err != nil {
+		return value.Value{}, err
+	}
+	return NewVM(bc, cfg).Call(name, args...)
+}

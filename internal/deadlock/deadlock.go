@@ -1,0 +1,157 @@
+// Package deadlock implements wait-for-graph cycle detection over Tetra's
+// named locks.
+//
+// The paper motivates Tetra's IDE with the difficulty of debugging deadlock
+// (§I, §III). This package provides the algorithm in two forms: the live
+// Graph used by the interpreter's lock registry to refuse deadlocking
+// acquisitions with an explanatory error, and Analyze, a post-hoc scan over
+// a recorded trace that reconstructs the same graph for teaching.
+package deadlock
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Graph is a wait-for graph between threads and locks: owner maps a lock to
+// the thread holding it (-1 when free) and waiting maps a thread to the
+// lock it is blocked on. The caller provides synchronization; the
+// interpreter mutates the graph under its lock-registry mutex.
+type Graph struct {
+	owner   []int
+	waiting map[int]int
+	names   []string
+}
+
+// NewGraph returns a graph for the given lock names (index = lock id).
+func NewGraph(lockNames []string) *Graph {
+	owner := make([]int, len(lockNames))
+	for i := range owner {
+		owner[i] = -1
+	}
+	return &Graph{owner: owner, waiting: make(map[int]int), names: lockNames}
+}
+
+// Owner returns the thread holding the lock, or -1.
+func (g *Graph) Owner(lock int) int { return g.owner[lock] }
+
+// SetOwner records that thread tid now holds the lock (-1 to free it).
+func (g *Graph) SetOwner(lock, tid int) { g.owner[lock] = tid }
+
+// SetWaiting records that thread tid is blocked on the lock.
+func (g *Graph) SetWaiting(tid, lock int) { g.waiting[tid] = lock }
+
+// ClearWaiting records that thread tid is no longer blocked.
+func (g *Graph) ClearWaiting(tid int) { delete(g.waiting, tid) }
+
+// Cycle describes a deadlock: the sequence of (thread, lock) wait edges
+// forming the loop.
+type Cycle struct {
+	Threads []int
+	Locks   []int
+	names   []string
+}
+
+// String renders the cycle as a student-readable explanation:
+//
+//	thread 1 waits for lock "b" held by thread 2; thread 2 waits for lock "a" held by thread 1
+func (c *Cycle) String() string {
+	var parts []string
+	n := len(c.Threads)
+	for i := 0; i < n; i++ {
+		holder := c.Threads[(i+1)%n]
+		parts = append(parts, fmt.Sprintf("thread %d waits for lock %q held by thread %d",
+			c.Threads[i], c.names[c.Locks[i]], holder))
+	}
+	return strings.Join(parts, "; ")
+}
+
+// FindCycle looks for a wait-for cycle reachable from thread start,
+// assuming start is (about to be) waiting. It returns nil when no deadlock
+// exists.
+func (g *Graph) FindCycle(start int) *Cycle {
+	var threads, locks []int
+	tid := start
+	for {
+		lock, isWaiting := g.waiting[tid]
+		if !isWaiting {
+			return nil
+		}
+		threads = append(threads, tid)
+		locks = append(locks, lock)
+		holder := g.owner[lock]
+		if holder == -1 {
+			return nil // lock is free; the wait will succeed
+		}
+		if holder == start {
+			return &Cycle{Threads: threads, Locks: locks, names: g.names}
+		}
+		// A thread can appear at most once as a waiter, so this walk
+		// terminates: either we fall off (no wait edge) or close the loop.
+		// Guard against cycles not involving start.
+		for _, seen := range threads {
+			if seen == holder {
+				return &Cycle{Threads: threads, Locks: locks, names: g.names}
+			}
+		}
+		tid = holder
+	}
+}
+
+// Report is the outcome of post-hoc analysis of a trace.
+type Report struct {
+	// Deadlocked is non-nil when the trace ends with a set of threads
+	// mutually waiting.
+	Deadlocked *Cycle
+	// Contention counts, per lock name, how many LockWait events occurred —
+	// a teaching signal about serialization even without deadlock.
+	Contention map[string]int
+}
+
+// Analyze replays lock events from a trace and reports whether the final
+// state contains a wait-for cycle, plus per-lock contention counts. Lock
+// names are taken from the events themselves.
+func Analyze(events []trace.Event) Report {
+	// Collect lock names in first-appearance order.
+	index := map[string]int{}
+	var names []string
+	idOf := func(name string) int {
+		if i, ok := index[name]; ok {
+			return i
+		}
+		i := len(names)
+		index[name] = i
+		names = append(names, name)
+		return i
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case trace.LockWait, trace.LockAcquire, trace.LockRelease:
+			idOf(e.Name)
+		}
+	}
+
+	g := NewGraph(names)
+	rep := Report{Contention: map[string]int{}}
+	for _, e := range events {
+		switch e.Kind {
+		case trace.LockWait:
+			rep.Contention[e.Name]++
+			g.SetWaiting(e.Thread, idOf(e.Name))
+		case trace.LockAcquire:
+			g.ClearWaiting(e.Thread)
+			g.SetOwner(idOf(e.Name), e.Thread)
+		case trace.LockRelease:
+			g.SetOwner(idOf(e.Name), -1)
+		}
+	}
+	for tid := range g.waiting {
+		if c := g.FindCycle(tid); c != nil {
+			rep.Deadlocked = c
+			break
+		}
+	}
+	return rep
+}

@@ -1,0 +1,124 @@
+package deadlock
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestNoCycleWhenLockFree(t *testing.T) {
+	g := NewGraph([]string{"a"})
+	g.SetWaiting(1, 0)
+	if c := g.FindCycle(1); c != nil {
+		t.Errorf("free lock produced cycle %v", c)
+	}
+}
+
+func TestNoCycleSimpleWait(t *testing.T) {
+	g := NewGraph([]string{"a"})
+	g.SetOwner(0, 2) // thread 2 holds a, is not waiting
+	g.SetWaiting(1, 0)
+	if c := g.FindCycle(1); c != nil {
+		t.Errorf("plain contention reported as deadlock: %v", c)
+	}
+}
+
+func TestTwoThreadCycle(t *testing.T) {
+	g := NewGraph([]string{"a", "b"})
+	g.SetOwner(0, 1) // t1 holds a
+	g.SetOwner(1, 2) // t2 holds b
+	g.SetWaiting(1, 1)
+	g.SetWaiting(2, 0)
+	c := g.FindCycle(1)
+	if c == nil {
+		t.Fatal("cycle not found")
+	}
+	s := c.String()
+	if !strings.Contains(s, "thread 1 waits for lock \"b\" held by thread 2") {
+		t.Errorf("cycle explanation = %q", s)
+	}
+	if !strings.Contains(s, "thread 2 waits for lock \"a\" held by thread 1") {
+		t.Errorf("cycle explanation = %q", s)
+	}
+}
+
+func TestThreeThreadCycle(t *testing.T) {
+	g := NewGraph([]string{"a", "b", "c"})
+	g.SetOwner(0, 1)
+	g.SetOwner(1, 2)
+	g.SetOwner(2, 3)
+	g.SetWaiting(1, 1) // t1 wants b
+	g.SetWaiting(2, 2) // t2 wants c
+	g.SetWaiting(3, 0) // t3 wants a
+	c := g.FindCycle(1)
+	if c == nil || len(c.Threads) != 3 {
+		t.Fatalf("cycle = %v", c)
+	}
+}
+
+func TestCycleNotInvolvingStartStillFound(t *testing.T) {
+	// t5 waits into a 2-cycle between t1 and t2: the walk from t5 detects
+	// the downstream loop.
+	g := NewGraph([]string{"a", "b"})
+	g.SetOwner(0, 1)
+	g.SetOwner(1, 2)
+	g.SetWaiting(1, 1)
+	g.SetWaiting(2, 0)
+	g.SetWaiting(5, 0)
+	if c := g.FindCycle(5); c == nil {
+		t.Error("downstream cycle not detected from outside waiter")
+	}
+}
+
+func TestClearWaitingBreaksCycle(t *testing.T) {
+	g := NewGraph([]string{"a", "b"})
+	g.SetOwner(0, 1)
+	g.SetOwner(1, 2)
+	g.SetWaiting(1, 1)
+	g.SetWaiting(2, 0)
+	g.ClearWaiting(2)
+	if c := g.FindCycle(1); c != nil {
+		t.Errorf("cycle survives ClearWaiting: %v", c)
+	}
+}
+
+func TestAnalyzeCleanTrace(t *testing.T) {
+	events := []trace.Event{
+		{Thread: 1, Kind: trace.LockAcquire, Name: "m"},
+		{Thread: 1, Kind: trace.LockRelease, Name: "m"},
+		{Thread: 2, Kind: trace.LockWait, Name: "m"},
+		{Thread: 2, Kind: trace.LockAcquire, Name: "m"},
+		{Thread: 2, Kind: trace.LockRelease, Name: "m"},
+	}
+	rep := Analyze(events)
+	if rep.Deadlocked != nil {
+		t.Errorf("clean trace reported deadlock: %v", rep.Deadlocked)
+	}
+	if rep.Contention["m"] != 1 {
+		t.Errorf("contention = %v", rep.Contention)
+	}
+}
+
+func TestAnalyzeDeadlockedTrace(t *testing.T) {
+	events := []trace.Event{
+		{Thread: 1, Kind: trace.LockAcquire, Name: "a"},
+		{Thread: 2, Kind: trace.LockAcquire, Name: "b"},
+		{Thread: 1, Kind: trace.LockWait, Name: "b"},
+		{Thread: 2, Kind: trace.LockWait, Name: "a"},
+	}
+	rep := Analyze(events)
+	if rep.Deadlocked == nil {
+		t.Fatal("deadlock not detected in final state")
+	}
+	if len(rep.Deadlocked.Threads) != 2 {
+		t.Errorf("cycle = %v", rep.Deadlocked)
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	rep := Analyze(nil)
+	if rep.Deadlocked != nil || len(rep.Contention) != 0 {
+		t.Errorf("empty trace report = %+v", rep)
+	}
+}

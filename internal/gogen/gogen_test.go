@@ -1,0 +1,364 @@
+package gogen
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/check"
+	"repro/internal/parser"
+)
+
+func compile(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse("gen.ttr", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := check.Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return prog
+}
+
+// generate produces Go source for src.
+func generate(t *testing.T, src string) string {
+	t.Helper()
+	goSrc, err := Generate(compile(t, src))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return goSrc
+}
+
+// moduleRoot walks up to the directory containing go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found")
+		}
+		dir = parent
+	}
+}
+
+// runGenerated compiles src to Go, builds it inside the module (generated
+// code imports repro/internal/gort), runs it with the given stdin, and
+// returns stdout.
+func runGenerated(t *testing.T, src, input string) (string, error) {
+	t.Helper()
+	goSrc := generate(t, src)
+	root := moduleRoot(t)
+	dir, err := os.MkdirTemp(root, ".gogen-test-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(goSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./"+filepath.Base(dir))
+	cmd.Dir = root
+	cmd.Stdin = strings.NewReader(input)
+	var out, errOut bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errOut
+	runErr := cmd.Run()
+	if runErr != nil {
+		return out.String(), &runError{stderr: errOut.String(), err: runErr}
+	}
+	return out.String(), nil
+}
+
+type runError struct {
+	stderr string
+	err    error
+}
+
+func (e *runError) Error() string { return e.err.Error() + ": " + e.stderr }
+
+func TestGenerateRequiresMain(t *testing.T) {
+	prog := compile(t, "def f():\n    pass\n")
+	if _, err := Generate(prog); err == nil {
+		t.Error("missing main not rejected")
+	}
+}
+
+func TestGeneratedSourceShape(t *testing.T) {
+	goSrc := generate(t, `def main():
+    parallel:
+        x = 1
+        y = 2
+    lock m:
+        z = x + y
+    print(z)
+`)
+	for _, want := range []string{
+		"package main",
+		"gort.InitLocks(1)",
+		"gort.Catch(t_main)",
+		"var wg sync.WaitGroup",
+		"wg.Wait()",
+		"gort.Lock(0)",
+		"gort.Unlock(0)",
+		"gort.Print(",
+	} {
+		if !strings.Contains(goSrc, want) {
+			t.Errorf("generated source missing %q:\n%s", want, goSrc)
+		}
+	}
+}
+
+func TestNoSyncImportWithoutParallel(t *testing.T) {
+	goSrc := generate(t, "def main():\n    print(1)\n")
+	if strings.Contains(goSrc, `"sync"`) {
+		t.Error("sync imported for sequential program")
+	}
+}
+
+// TestGeneratedPrograms compiles and executes a semantic corpus natively,
+// checking exact output equality with the interpreter's expected results.
+func TestGeneratedPrograms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs generated binaries; skipped in -short")
+	}
+	cases := []struct{ name, src, input, want string }{
+		{
+			name: "figure1",
+			src: `def fact(x int) int:
+    if x == 0:
+        return 1
+    else:
+        return x * fact(x - 1)
+
+def main():
+    print("enter n: ")
+    n = read_int()
+    print(n, "! = ", fact(n))
+`,
+			input: "10\n",
+			want:  "enter n: \n10! = 3628800\n",
+		},
+		{
+			name: "figure2",
+			src: `def sumr(nums [int], a int, b int) int:
+    total = 0
+    i = a
+    while i <= b:
+        total += nums[i]
+        i += 1
+    return total
+
+def sum(nums [int]) int:
+    mid = len(nums) / 2
+    parallel:
+        a = sumr(nums, 0, mid - 1)
+        b = sumr(nums, mid, len(nums) - 1)
+    return a + b
+
+def main():
+    print(sum([1 .. 100]))
+`,
+			want: "5050\n",
+		},
+		{
+			name: "figure3",
+			src: `def max(nums [int]) int:
+    largest = 0
+    parallel for num in nums:
+        if num > largest:
+            lock largest:
+                if num > largest:
+                    largest = num
+    return largest
+
+def main():
+    print(max([18, 32, 96, 48, 60]))
+`,
+			want: "96\n",
+		},
+		{
+			name: "mixed_semantics",
+			src: `def main():
+    print(7 / 2, " ", 7.0 / 2, " ", 7 % 3, " ", 7.5 % 2)
+    a = [1.0, 2]
+    a[0] = 5
+    print(a, " ", a == [5.0, 2.0])
+    s = "ab" + "cd"
+    print(s[2], " ", len(s), " ", s < "b")
+    print(sort([3, 1, 2]), " ", join(split("c,a", ","), "+"))
+    print(min(3, 1), " ", max(1, 2.5), " ", floor(3.9), " ", abs(-4))
+    r = 1.5
+    r = 2
+    print(r)
+`,
+			want: "3 3.5 1 1.5\n[5.0, 2.0] true\nc 4 true\n[1, 2, 3] c+a\n1 2.5 3 4\n2.0\n",
+		},
+		{
+			name: "control_flow",
+			src: `def main():
+    total = 0
+    for i in [1 .. 20]:
+        if i % 3 == 0:
+            continue
+        if i > 15:
+            break
+        total += i
+    w = 0
+    while true:
+        w += 1
+        if w == 5:
+            break
+    print(total, " ", w)
+`,
+			want: "75 5\n",
+		},
+		{
+			name: "parallel_map_and_locks",
+			src: `def cube(x int) int:
+    return x * x * x
+
+def main():
+    n = 8
+    out = range(n)
+    parallel for i in range(n):
+        out[i] = cube(i)
+    count = 0
+    parallel for i in range(20):
+        lock c:
+            count += 1
+    print(out, " ", count)
+`,
+			want: "[0, 1, 8, 27, 64, 125, 216, 343] 20\n",
+		},
+		{
+			name: "strings_and_iteration",
+			src: `def main():
+    out = ""
+    for c in "abc":
+        out = c + out
+    print(out, " ", to_upper(out), " ", reverse(out))
+    print(starts_with("hello", "he"), " ", contains("hello", "lo"))
+`,
+			want: "cba CBA abc\ntrue true\n",
+		},
+		{
+			name: "background",
+			src: `def fill(a [int], i int):
+    a[i] = i + 1
+
+def main():
+    a = [0, 0]
+    background:
+        fill(a, 0)
+        fill(a, 1)
+    sleep(50)
+    print(a)
+`,
+			want: "[1, 2]\n",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := runGenerated(t, c.src, c.input)
+			if err != nil {
+				t.Fatalf("generated program failed: %v", err)
+			}
+			if got != c.want {
+				t.Errorf("output = %q, want %q", got, c.want)
+			}
+		})
+	}
+}
+
+func TestGeneratedRuntimeErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs generated binaries; skipped in -short")
+	}
+	cases := []struct{ name, src, substr string }{
+		{"bounds", "def main():\n    a = [1]\n    print(a[5])\n", "index 5 out of range"},
+		{"div_zero", "def main():\n    x = 0\n    print(1 / x)\n", "division by zero"},
+		{"return_in_lock_releases", `def f() int:
+    lock m:
+        return 1
+
+def main():
+    print(f())
+    lock m:
+        print(2)
+`, ""}, // must terminate (the early return released m) and print 1, 2
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, err := runGenerated(t, c.src, "")
+			if c.substr == "" {
+				if err != nil {
+					t.Fatalf("unexpected failure: %v", err)
+				}
+				if out != "1\n2\n" {
+					t.Errorf("output = %q", out)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("expected runtime failure")
+			}
+			if !strings.Contains(err.Error(), c.substr) {
+				t.Errorf("error %q does not contain %q", err, c.substr)
+			}
+		})
+	}
+}
+
+// TestGeneratedGoldenCorpus runs the shared testdata corpus natively.
+func TestGeneratedGoldenCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs generated binaries; skipped in -short")
+	}
+	root := moduleRoot(t)
+	dir := filepath.Join(root, "testdata", "programs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, entry := range entries {
+		name := entry.Name()
+		if !strings.HasSuffix(name, ".ttr") {
+			continue
+		}
+		base := strings.TrimSuffix(name, ".ttr")
+		t.Run(base, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join(dir, base+".out"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			input := ""
+			if data, err := os.ReadFile(filepath.Join(dir, base+".in")); err == nil {
+				input = string(data)
+			}
+			got, err := runGenerated(t, string(src), input)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,510 @@
+// Package gort is the runtime support library for natively compiled Tetra
+// programs (internal/gogen).
+//
+// The paper's future work (§VI) proposes "a native code compiler, which
+// will compile Tetra code into an efficient executable, possibly by
+// targeting C with Pthreads as the output language". This reproduction
+// targets Go with goroutines instead — the exact analog on this stack.
+// Generated programs import only this package; it supplies Tetra's arrays
+// (reference semantics + bounds checking), the named-lock table, the
+// background-thread registry, Tetra-formatted printing, console input, and
+// the string/math/conversion builtins.
+//
+// Runtime errors (index out of bounds, division by zero, conversion
+// failures) are raised as panics carrying an Err value; the generated main
+// wraps execution in Catch, which prints them in the interpreter's
+// "runtime error: ..." form and exits nonzero, so compiled and interpreted
+// programs fail identically.
+package gort
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Err is the panic payload for Tetra runtime errors.
+type Err struct{ Msg string }
+
+func (e Err) Error() string { return "runtime error: " + e.Msg }
+
+// Raise aborts execution with a Tetra runtime error.
+func Raise(format string, args ...any) {
+	panic(Err{Msg: fmt.Sprintf(format, args...)})
+}
+
+// Catch runs a compiled program's main, converting Tetra runtime errors
+// (and the Go runtime's arithmetic panics) into the interpreter's error
+// format on stderr with exit status 1.
+func Catch(main func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch e := r.(type) {
+			case Err:
+				fmt.Fprintln(os.Stderr, e.Error())
+			case error:
+				fmt.Fprintln(os.Stderr, "runtime error:", e.Error())
+			default:
+				fmt.Fprintln(os.Stderr, "runtime error:", r)
+			}
+			Out.Flush()
+			os.Exit(1)
+		}
+	}()
+	main()
+	WaitBG()
+	Out.Flush()
+}
+
+// Array is a Tetra array: reference semantics, like the interpreter's.
+type Array[T any] struct{ E []T }
+
+// NewArray wraps the given elements.
+func NewArray[T any](elems ...T) *Array[T] { return &Array[T]{E: elems} }
+
+// MakeArray allocates n zero elements.
+func MakeArray[T any](n int64) *Array[T] { return &Array[T]{E: make([]T, n)} }
+
+// Len returns the element count as a Tetra int.
+func (a *Array[T]) Len() int64 { return int64(len(a.E)) }
+
+// Get returns element i, raising a Tetra bounds error when out of range.
+func (a *Array[T]) Get(i int64) T {
+	if i < 0 || i >= int64(len(a.E)) {
+		Raise("index %d out of range for array of length %d", i, len(a.E))
+	}
+	return a.E[i]
+}
+
+// Set stores element i with bounds checking.
+func (a *Array[T]) Set(i int64, v T) {
+	if i < 0 || i >= int64(len(a.E)) {
+		Raise("index %d out of range for array of length %d", i, len(a.E))
+	}
+	a.E[i] = v
+}
+
+// Push appends an element (the future-work growable-array operation).
+func (a *Array[T]) Push(v T) { a.E = append(a.E, v) }
+
+// String renders the array in Tetra's print format.
+func (a *Array[T]) String() string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, e := range a.E {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(formatElem(e))
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Range returns the inclusive Tetra range [lo .. hi].
+func Range(lo, hi int64) *Array[int64] {
+	n := hi - lo + 1
+	if n < 0 {
+		n = 0
+	}
+	if n > 1<<28 {
+		Raise("range [%d .. %d] too large", lo, hi)
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = lo + int64(i)
+	}
+	return &Array[int64]{E: out}
+}
+
+// RangeN implements the range builtin: range(n) = [0, n), range(lo, hi) =
+// [lo, hi).
+func RangeN(args ...int64) *Array[int64] {
+	lo, hi := int64(0), int64(0)
+	if len(args) == 1 {
+		hi = args[0]
+	} else {
+		lo, hi = args[0], args[1]
+	}
+	if hi <= lo {
+		return &Array[int64]{}
+	}
+	return Range(lo, hi-1)
+}
+
+// StrIndex returns the 1-character string s[i] with bounds checking.
+func StrIndex(s string, i int64) string {
+	if i < 0 || i >= int64(len(s)) {
+		Raise("index %d out of range for string of length %d", i, len(s))
+	}
+	return s[i : i+1]
+}
+
+// StrIter returns the characters of s as 1-character strings, for for-in
+// loops over strings.
+func StrIter(s string) []string {
+	out := make([]string, len(s))
+	for i := range out {
+		out[i] = s[i : i+1]
+	}
+	return out
+}
+
+// DivInt is Tetra integer division with the divide-by-zero runtime error.
+func DivInt(a, b int64) int64 {
+	if b == 0 {
+		Raise("division by zero")
+	}
+	return a / b
+}
+
+// ModInt is Tetra integer modulo with the modulo-by-zero runtime error.
+func ModInt(a, b int64) int64 {
+	if b == 0 {
+		Raise("modulo by zero")
+	}
+	return a % b
+}
+
+// Mod is real modulo.
+func Mod(a, b float64) float64 { return math.Mod(a, b) }
+
+// Eq is Tetra's == on any pair of same-typed values; arrays compare deeply.
+func Eq(a, b any) bool { return reflect.DeepEqual(a, b) }
+
+// locks is the named-lock table; gogen sizes it per program via InitLocks.
+var locks []*sync.Mutex
+
+// InitLocks sizes the lock table; called once from generated main.
+func InitLocks(n int) {
+	locks = make([]*sync.Mutex, n)
+	for i := range locks {
+		locks[i] = new(sync.Mutex)
+	}
+}
+
+// Lock acquires named lock i.
+func Lock(i int) { locks[i].Lock() }
+
+// Unlock releases named lock i.
+func Unlock(i int) { locks[i].Unlock() }
+
+// bg tracks background threads so the process can join them at exit, the
+// same policy as the interpreter's Run.
+var bg sync.WaitGroup
+
+// Go launches a background-block statement thread.
+func Go(f func()) {
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		f()
+	}()
+}
+
+// WaitBG joins all background threads.
+func WaitBG() { bg.Wait() }
+
+// Out is the buffered, mutex-guarded stdout writer; prints are atomic per
+// call like the interpreter's.
+var Out = newOut()
+
+type outWriter struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+func newOut() *outWriter { return &outWriter{w: bufio.NewWriter(os.Stdout)} }
+
+func (o *outWriter) Flush() {
+	o.mu.Lock()
+	o.w.Flush()
+	o.mu.Unlock()
+}
+
+// Print renders the arguments in Tetra's print format plus a newline.
+func Print(args ...any) {
+	var sb strings.Builder
+	for _, a := range args {
+		sb.WriteString(formatTop(a))
+	}
+	sb.WriteByte('\n')
+	Out.mu.Lock()
+	Out.w.WriteString(sb.String())
+	Out.mu.Unlock()
+}
+
+// formatTop formats a value the way Tetra's print does at top level.
+func formatTop(a any) string {
+	switch v := a.(type) {
+	case int64:
+		return strconv.FormatInt(v, 10)
+	case float64:
+		return FormatReal(v)
+	case string:
+		return v
+	case bool:
+		if v {
+			return "true"
+		}
+		return "false"
+	case fmt.Stringer:
+		return v.String()
+	default:
+		return fmt.Sprint(a)
+	}
+}
+
+// formatElem formats a value inside an array (strings are quoted).
+func formatElem(a any) string {
+	if s, ok := a.(string); ok {
+		return strconv.Quote(s)
+	}
+	return formatTop(a)
+}
+
+// FormatReal matches the interpreter's real formatting (trailing .0 on
+// integral values).
+func FormatReal(f float64) string {
+	if math.IsInf(f, 1) {
+		return "inf"
+	}
+	if math.IsInf(f, -1) {
+		return "-inf"
+	}
+	if math.IsNaN(f) {
+		return "nan"
+	}
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// in is the shared buffered stdin reader for the read_* builtins.
+var in = bufio.NewReader(os.Stdin)
+
+// ReadInt implements read_int.
+func ReadInt() int64 {
+	var v int64
+	if _, err := fmt.Fscan(in, &v); err != nil {
+		Raise("read_int: %v", err)
+	}
+	return v
+}
+
+// ReadReal implements read_real.
+func ReadReal() float64 {
+	var v float64
+	if _, err := fmt.Fscan(in, &v); err != nil {
+		Raise("read_real: %v", err)
+	}
+	return v
+}
+
+// ReadBool implements read_bool.
+func ReadBool() bool {
+	var s string
+	if _, err := fmt.Fscan(in, &s); err != nil {
+		Raise("read_bool: %v", err)
+	}
+	switch strings.ToLower(s) {
+	case "true", "1", "yes":
+		return true
+	case "false", "0", "no":
+		return false
+	}
+	Raise("read_bool: cannot parse %q", s)
+	return false
+}
+
+// ReadString implements read_string with the same leftover-newline
+// absorption as the interpreter's stdlib.
+func ReadString() string {
+	line, err := in.ReadString('\n')
+	if strings.TrimRight(line, "\r\n") == "" && err == nil {
+		line, err = in.ReadString('\n')
+	}
+	if err != nil && line == "" {
+		Raise("read_string: %v", err)
+	}
+	return strings.TrimRight(line, "\r\n")
+}
+
+// Math/conversion/string builtins used by generated code. Names mirror the
+// Tetra builtins.
+
+// AbsInt implements abs on ints.
+func AbsInt(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// MinInt implements min over int arguments.
+func MinInt(vs ...int64) int64 {
+	best := vs[0]
+	for _, v := range vs[1:] {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MaxInt implements max over int arguments.
+func MaxInt(vs ...int64) int64 {
+	best := vs[0]
+	for _, v := range vs[1:] {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MinReal implements min when any argument is real.
+func MinReal(vs ...float64) float64 {
+	best := vs[0]
+	for _, v := range vs[1:] {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MaxReal implements max when any argument is real.
+func MaxReal(vs ...float64) float64 {
+	best := vs[0]
+	for _, v := range vs[1:] {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Floor implements floor (→ int).
+func Floor(v float64) int64 { return int64(math.Floor(v)) }
+
+// Ceil implements ceil (→ int).
+func Ceil(v float64) int64 { return int64(math.Ceil(v)) }
+
+// ToStringOf implements to_string for any Tetra value.
+func ToStringOf(a any) string { return formatTop(a) }
+
+// ToIntFromString implements to_int on strings.
+func ToIntFromString(s string) int64 {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		Raise("to_int: cannot parse %q", s)
+	}
+	return v
+}
+
+// ToRealFromString implements to_real on strings.
+func ToRealFromString(s string) float64 {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		Raise("to_real: cannot parse %q", s)
+	}
+	return v
+}
+
+// BoolToInt implements to_int on bools.
+func BoolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Substring implements substring with the interpreter's bounds errors.
+func Substring(s string, lo, hi int64) string {
+	if lo < 0 || hi > int64(len(s)) || lo > hi {
+		Raise("substring: bounds [%d, %d) out of range for string of length %d", lo, hi, len(s))
+	}
+	return s[lo:hi]
+}
+
+// Find implements find.
+func Find(s, sub string) int64 { return int64(strings.Index(s, sub)) }
+
+// Split implements split (empty separator → whitespace fields).
+func Split(s, sep string) *Array[string] {
+	var parts []string
+	if sep == "" {
+		parts = strings.Fields(s)
+	} else {
+		parts = strings.Split(s, sep)
+	}
+	return &Array[string]{E: parts}
+}
+
+// Join implements join.
+func Join(a *Array[string], sep string) string { return strings.Join(a.E, sep) }
+
+// Trim implements trim.
+func Trim(s string) string { return strings.TrimSpace(s) }
+
+// Repeat implements repeat with the count guard.
+func Repeat(s string, n int64) string {
+	if n < 0 || n > 1<<24 {
+		Raise("repeat: count %d out of range", n)
+	}
+	return strings.Repeat(s, int(n))
+}
+
+// Reverse implements reverse (by runes).
+func Reverse(s string) string {
+	runes := []rune(s)
+	for i, j := 0, len(runes)-1; i < j; i, j = i+1, j-1 {
+		runes[i], runes[j] = runes[j], runes[i]
+	}
+	return string(runes)
+}
+
+// SortArray implements sort: a sorted copy.
+func SortArray[T int64 | float64 | string](a *Array[T]) *Array[T] {
+	out := make([]T, len(a.E))
+	copy(out, a.E)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return &Array[T]{E: out}
+}
+
+// Sleep implements sleep(ms).
+func Sleep(ms int64) {
+	if ms > 0 {
+		time.Sleep(time.Duration(ms) * time.Millisecond)
+	}
+}
+
+// TimeMS implements time_ms.
+func TimeMS() int64 { return time.Now().UnixMilli() }
+
+// Sqrt, Sin, Cos, Tan, Exp, Log, Pow and the string predicates are thin
+// stdlib aliases so generated code only imports gort.
+func Sqrt(v float64) float64    { return math.Sqrt(v) }
+func Sin(v float64) float64     { return math.Sin(v) }
+func Cos(v float64) float64     { return math.Cos(v) }
+func Tan(v float64) float64     { return math.Tan(v) }
+func Exp(v float64) float64     { return math.Exp(v) }
+func Log(v float64) float64     { return math.Log(v) }
+func Pow(a, b float64) float64  { return math.Pow(a, b) }
+func AbsReal(v float64) float64 { return math.Abs(v) }
+
+func ToUpper(s string) string          { return strings.ToUpper(s) }
+func ToLower(s string) string          { return strings.ToLower(s) }
+func StartsWith(s, prefix string) bool { return strings.HasPrefix(s, prefix) }
+func EndsWith(s, suffix string) bool   { return strings.HasSuffix(s, suffix) }
+func Contains(s, sub string) bool      { return strings.Contains(s, sub) }

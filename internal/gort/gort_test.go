@@ -1,0 +1,234 @@
+package gort
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// catchErr runs f and returns the Tetra runtime error it raised, or nil.
+func catchErr(f func()) (err *Err) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(Err); ok {
+				err = &e
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return nil
+}
+
+func TestArrayBasics(t *testing.T) {
+	a := NewArray[int64](1, 2, 3)
+	if a.Len() != 3 || a.Get(1) != 2 {
+		t.Errorf("array = %v", a)
+	}
+	a.Set(1, 20)
+	if a.Get(1) != 20 {
+		t.Error("Set failed")
+	}
+	a.Push(4)
+	if a.Len() != 4 || a.Get(3) != 4 {
+		t.Error("Push failed")
+	}
+	z := MakeArray[float64](2)
+	if z.Len() != 2 || z.Get(0) != 0 {
+		t.Error("MakeArray not zeroed")
+	}
+}
+
+func TestArrayBounds(t *testing.T) {
+	a := NewArray[int64](1)
+	if err := catchErr(func() { a.Get(5) }); err == nil || !strings.Contains(err.Msg, "out of range") {
+		t.Errorf("Get OOB err = %v", err)
+	}
+	if err := catchErr(func() { a.Set(-1, 0) }); err == nil {
+		t.Error("Set OOB not raised")
+	}
+}
+
+func TestArrayString(t *testing.T) {
+	if s := NewArray[int64](1, 2).String(); s != "[1, 2]" {
+		t.Errorf("int array = %q", s)
+	}
+	if s := NewArray[string]("a", "b").String(); s != `["a", "b"]` {
+		t.Errorf("string array = %q", s)
+	}
+	if s := NewArray[float64](1, 2.5).String(); s != "[1.0, 2.5]" {
+		t.Errorf("real array = %q", s)
+	}
+	nested := NewArray[*Array[int64]](NewArray[int64](1), NewArray[int64](2, 3))
+	if s := nested.String(); s != "[[1], [2, 3]]" {
+		t.Errorf("nested array = %q", s)
+	}
+}
+
+func TestRangeFunctions(t *testing.T) {
+	r := Range(1, 5)
+	if r.Len() != 5 || r.Get(0) != 1 || r.Get(4) != 5 {
+		t.Errorf("Range = %v", r)
+	}
+	if Range(5, 1).Len() != 0 {
+		t.Error("reversed Range not empty")
+	}
+	if n := RangeN(3); n.Len() != 3 || n.Get(0) != 0 {
+		t.Errorf("RangeN(3) = %v", n)
+	}
+	if n := RangeN(2, 5); n.Len() != 3 || n.Get(0) != 2 {
+		t.Errorf("RangeN(2,5) = %v", n)
+	}
+	if RangeN(5, 2).Len() != 0 {
+		t.Error("reversed RangeN not empty")
+	}
+}
+
+func TestStrHelpers(t *testing.T) {
+	if StrIndex("abc", 1) != "b" {
+		t.Error("StrIndex")
+	}
+	if err := catchErr(func() { StrIndex("abc", 9) }); err == nil {
+		t.Error("StrIndex OOB not raised")
+	}
+	it := StrIter("ab")
+	if len(it) != 2 || it[0] != "a" || it[1] != "b" {
+		t.Errorf("StrIter = %v", it)
+	}
+	if Substring("hello", 1, 3) != "el" {
+		t.Error("Substring")
+	}
+	if err := catchErr(func() { Substring("x", 0, 5) }); err == nil {
+		t.Error("Substring OOB not raised")
+	}
+	if Find("hello", "ll") != 2 || Find("hello", "z") != -1 {
+		t.Error("Find")
+	}
+	if Reverse("abc") != "cba" || Trim("  x ") != "x" || Repeat("ab", 2) != "abab" {
+		t.Error("string builtins")
+	}
+	if !StartsWith("ab", "a") || !EndsWith("ab", "b") || !Contains("abc", "b") {
+		t.Error("predicates")
+	}
+	if ToUpper("a") != "A" || ToLower("A") != "a" {
+		t.Error("case conversion")
+	}
+	j := Join(NewArray[string]("a", "b"), "-")
+	if j != "a-b" {
+		t.Error("Join")
+	}
+	sp := Split("a,b", ",")
+	if sp.Len() != 2 || sp.Get(1) != "b" {
+		t.Error("Split")
+	}
+	if Split("  a b ", "").Len() != 2 {
+		t.Error("Split whitespace")
+	}
+}
+
+func TestArith(t *testing.T) {
+	if DivInt(7, 2) != 3 || ModInt(7, 2) != 1 {
+		t.Error("int arithmetic")
+	}
+	if err := catchErr(func() { DivInt(1, 0) }); err == nil || !strings.Contains(err.Msg, "division by zero") {
+		t.Errorf("div zero = %v", err)
+	}
+	if err := catchErr(func() { ModInt(1, 0) }); err == nil {
+		t.Error("mod zero not raised")
+	}
+	if Mod(7.5, 2) != 1.5 {
+		t.Error("real mod")
+	}
+}
+
+func TestEqDeep(t *testing.T) {
+	if !Eq(NewArray[int64](1, 2), NewArray[int64](1, 2)) {
+		t.Error("equal arrays not Eq")
+	}
+	if Eq(NewArray[int64](1), NewArray[int64](2)) {
+		t.Error("unequal arrays Eq")
+	}
+	if !Eq(int64(3), int64(3)) || Eq("a", "b") {
+		t.Error("scalar Eq")
+	}
+}
+
+func TestConversionsAndMath(t *testing.T) {
+	if ToIntFromString(" 42 ") != 42 {
+		t.Error("ToIntFromString")
+	}
+	if err := catchErr(func() { ToIntFromString("zz") }); err == nil {
+		t.Error("bad int parse not raised")
+	}
+	if ToRealFromString("2.5") != 2.5 {
+		t.Error("ToRealFromString")
+	}
+	if BoolToInt(true) != 1 || BoolToInt(false) != 0 {
+		t.Error("BoolToInt")
+	}
+	if AbsInt(-3) != 3 || AbsReal(-2.5) != 2.5 {
+		t.Error("abs")
+	}
+	if MinInt(3, 1, 2) != 1 || MaxInt(1, 3) != 3 {
+		t.Error("int min/max")
+	}
+	if MinReal(1.5, 0.5) != 0.5 || MaxReal(1.5, 2.5) != 2.5 {
+		t.Error("real min/max")
+	}
+	if Floor(2.7) != 2 || Ceil(2.1) != 3 {
+		t.Error("floor/ceil")
+	}
+	if Sqrt(9) != 3 || Pow(2, 3) != 8 {
+		t.Error("sqrt/pow")
+	}
+	if ToStringOf(int64(5)) != "5" || ToStringOf(2.0) != "2.0" || ToStringOf(true) != "true" {
+		t.Error("ToStringOf")
+	}
+	s := SortArray(NewArray[int64](3, 1, 2))
+	if s.Get(0) != 1 || s.Get(2) != 3 {
+		t.Error("SortArray")
+	}
+}
+
+func TestLocksAndBackground(t *testing.T) {
+	InitLocks(2)
+	count := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Lock(0)
+			count++
+			Unlock(0)
+		}()
+	}
+	wg.Wait()
+	if count != 20 {
+		t.Errorf("count = %d", count)
+	}
+
+	done := false
+	var mu sync.Mutex
+	Go(func() {
+		mu.Lock()
+		done = true
+		mu.Unlock()
+	})
+	WaitBG()
+	mu.Lock()
+	defer mu.Unlock()
+	if !done {
+		t.Error("background thread not joined")
+	}
+}
+
+func TestFormatReal(t *testing.T) {
+	cases := map[float64]string{2.5: "2.5", 3: "3.0"}
+	for f, want := range cases {
+		if got := FormatReal(f); got != want {
+			t.Errorf("FormatReal(%v) = %q, want %q", f, got, want)
+		}
+	}
+}

@@ -1,0 +1,976 @@
+// Package interp is Tetra's tree-walking interpreter with real parallelism.
+//
+// It mirrors the architecture the paper describes (§IV): the checked AST is
+// executed by recursive traversal, and when execution reaches a parallel
+// construct the interpreter launches one thread per unit of work — here a
+// goroutine instead of a Pthread — and joins (or, for background blocks,
+// does not join) before continuing. Lock statements map to a named-mutex
+// registry. Threads share the enclosing function's symbol table; a
+// parallel-for iteration additionally receives a private cell for its
+// induction variable, reproducing the paper's private/shared symbol table
+// split.
+//
+// The registry performs live deadlock detection (wait-for-graph cycles),
+// turning the classic "my program hangs" experience into an explanatory
+// error — the pedagogical goal the paper assigns to its IDE.
+package interp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/ast"
+	"repro/internal/deadlock"
+	"repro/internal/stdlib"
+	"repro/internal/token"
+	"repro/internal/trace"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// maxCallDepth bounds Tetra recursion so runaway recursion becomes a
+// reportable runtime error instead of a Go stack fault.
+const maxCallDepth = 10000
+
+// FrameView gives a step hook read access to the executing frame's
+// variables by slot (see ast.FuncDecl.SlotNames for the slot→name table).
+type FrameView interface {
+	Var(slot int) value.Value
+}
+
+// StepHook is called before every statement executes, identifying the Tetra
+// thread, the enclosing function, the statement, the live frame, and the
+// thread's call depth (1 = the thread's entry function). The debugger parks
+// threads by blocking inside the hook and uses depth to implement
+// step-over. Hooks must be safe for concurrent calls.
+type StepHook func(threadID int, fn *ast.FuncDecl, stmt ast.Stmt, frame FrameView, depth int)
+
+// Options configures an interpreter instance.
+type Options struct {
+	// Env supplies program I/O. Required.
+	Env *stdlib.Env
+	// Tracer, when non-nil, receives execution events.
+	Tracer trace.Tracer
+	// TraceVars additionally emits VarRead/VarWrite events for variables in
+	// thread-shared frames (feeds the lockset race detector). Requires
+	// Tracer.
+	TraceVars bool
+	// Step, when non-nil, is invoked before each statement.
+	Step StepHook
+	// NoWaitBackground makes Run return without waiting for background
+	// threads, matching the C++ system's process-exit semantics. The
+	// default (false) joins them, which is safer for library use.
+	NoWaitBackground bool
+	// NoDeadlockDetection disables the live wait-for-graph check, letting
+	// deadlocks actually hang (useful under the scripted debugger, where
+	// hanging is the lesson).
+	NoDeadlockDetection bool
+	// CountWork makes every thread count the AST nodes it executes (one
+	// unit per statement and per expression node). The per-thread totals
+	// are available from WorkProfile after the run and feed the virtual
+	// multicore simulator (internal/simsched) used to reproduce the
+	// paper's speedup measurements on hosts without multiple cores.
+	CountWork bool
+}
+
+// ThreadWork is one thread's contribution to a work profile.
+type ThreadWork struct {
+	ID     int
+	Parent int   // -1 for the main thread
+	Work   int64 // executed AST nodes
+}
+
+// Interp executes one checked program. A single Interp may run one program
+// at a time; create a new Interp per run.
+type Interp struct {
+	prog *ast.Program
+	opts Options
+
+	locks      *lockRegistry
+	nextThread atomic.Int64
+	background sync.WaitGroup
+
+	stopped atomic.Bool
+	errMu   sync.Mutex
+	err     error
+
+	profMu  sync.Mutex
+	profile []ThreadWork
+}
+
+// WorkProfile returns the per-thread work counts recorded during the last
+// Run/Call when Options.CountWork was set. Order is completion order.
+func (in *Interp) WorkProfile() []ThreadWork {
+	in.profMu.Lock()
+	defer in.profMu.Unlock()
+	out := make([]ThreadWork, len(in.profile))
+	copy(out, in.profile)
+	return out
+}
+
+func (in *Interp) addProfile(t *thread) {
+	if !in.opts.CountWork {
+		return
+	}
+	in.profMu.Lock()
+	in.profile = append(in.profile, ThreadWork{ID: t.id, Parent: t.parent, Work: t.work})
+	in.profMu.Unlock()
+}
+
+// New returns an interpreter for the checked program.
+func New(prog *ast.Program, opts Options) *Interp {
+	in := &Interp{prog: prog, opts: opts}
+	in.locks = newLockRegistry(prog.LockNames, !opts.NoDeadlockDetection)
+	return in
+}
+
+// Run executes the program's main function. It returns the first runtime
+// error raised by any thread, or an error if main is missing.
+func (in *Interp) Run() error {
+	f := in.prog.Lookup("main")
+	if f == nil {
+		return fmt.Errorf("program has no main function")
+	}
+	t := in.newThread(-1)
+	t.traceStart()
+	_, err := t.call(f, nil, f.Pos())
+	t.traceEnd()
+	in.addProfile(t)
+	in.setErr(err)
+	if !in.opts.NoWaitBackground {
+		in.background.Wait()
+	}
+	return in.loadErr()
+}
+
+// Call invokes a named function with the given arguments, for embedding
+// Tetra as a library (the facade's Program.Call). Arguments are converted
+// to the parameter types; it is the caller's job to pass compatible kinds.
+func (in *Interp) Call(name string, args ...value.Value) (value.Value, error) {
+	f := in.prog.Lookup(name)
+	if f == nil {
+		return value.Value{}, fmt.Errorf("no function named %s", name)
+	}
+	if len(args) != len(f.Params) {
+		return value.Value{}, fmt.Errorf("%s expects %d argument(s), got %d", name, len(f.Params), len(args))
+	}
+	t := in.newThread(-1)
+	v, err := t.call(f, args, f.Pos())
+	in.addProfile(t)
+	in.setErr(err)
+	if !in.opts.NoWaitBackground {
+		in.background.Wait()
+	}
+	if e := in.loadErr(); e != nil {
+		return value.Value{}, e
+	}
+	return v, nil
+}
+
+// Cancel requests that all running Tetra threads stop at their next
+// statement boundary. Used by the debugger's kill command.
+func (in *Interp) Cancel() {
+	in.setErr(fmt.Errorf("execution cancelled"))
+}
+
+func (in *Interp) setErr(err error) {
+	if err == nil {
+		return
+	}
+	in.errMu.Lock()
+	if in.err == nil {
+		in.err = err
+	}
+	in.errMu.Unlock()
+	in.stopped.Store(true)
+}
+
+func (in *Interp) loadErr() error {
+	in.errMu.Lock()
+	defer in.errMu.Unlock()
+	return in.err
+}
+
+// errStopped is the sentinel propagated when another thread already failed;
+// it is never surfaced (the original error wins inside setErr).
+var errStopped = fmt.Errorf("stopped")
+
+// thread is one Tetra thread of execution.
+type thread struct {
+	id        int
+	interp    *Interp
+	ret       value.Value
+	depth     int
+	held      []int // lock indices currently held, innermost last
+	parent    int
+	countWork bool
+	work      int64
+}
+
+func (in *Interp) newThread(parent int) *thread {
+	return &thread{id: int(in.nextThread.Add(1)) - 1, interp: in, parent: parent, countWork: in.opts.CountWork}
+}
+
+func (t *thread) traceStart() {
+	if tr := t.interp.opts.Tracer; tr != nil {
+		tr.Emit(trace.Event{Thread: t.id, Parent: t.parent, Kind: trace.ThreadStart})
+	}
+}
+
+func (t *thread) traceEnd() {
+	if tr := t.interp.opts.Tracer; tr != nil {
+		tr.Emit(trace.Event{Thread: t.id, Kind: trace.ThreadEnd})
+	}
+}
+
+func (t *thread) emit(kind trace.Kind, pos token.Pos, name string) {
+	if tr := t.interp.opts.Tracer; tr != nil {
+		tr.Emit(trace.Event{Thread: t.id, Kind: kind, Pos: pos, Name: name})
+	}
+}
+
+func (t *thread) emitVar(kind trace.Kind, pos token.Pos, name string, c *value.Cell) {
+	tr := t.interp.opts.Tracer
+	if tr == nil {
+		return
+	}
+	held := append([]int(nil), t.held...)
+	tr.Emit(trace.Event{
+		Thread: t.id, Kind: kind, Pos: pos, Name: name, Locks: held,
+		Addr: uint64(uintptr(unsafe.Pointer(c))),
+	})
+}
+
+// frame is a function activation: one cell per local slot. shared reports
+// whether other threads may touch these cells (the function contains
+// parallel constructs), selecting locked vs. unlocked cell access.
+type frame struct {
+	fn     *ast.FuncDecl
+	cells  []*value.Cell
+	shared bool
+}
+
+func newFrame(fn *ast.FuncDecl) *frame {
+	backing := make([]value.Cell, fn.NumSlots)
+	cells := make([]*value.Cell, fn.NumSlots)
+	for i := range backing {
+		cells[i] = &backing[i]
+	}
+	return &frame{fn: fn, cells: cells, shared: fn.HasParallel}
+}
+
+// fork returns a view of the frame sharing every cell except slot, which is
+// replaced by a fresh private cell — the parallel-for induction variable
+// (paper §IV: "each thread needs to have its copy of the induction variable
+// inserted into its private symbol table").
+func (f *frame) fork(slot int, v value.Value) *frame {
+	cells := make([]*value.Cell, len(f.cells))
+	copy(cells, f.cells)
+	cells[slot] = value.NewCell(v)
+	return &frame{fn: f.fn, cells: cells, shared: true}
+}
+
+// Var implements FrameView for the debugger's step hook.
+func (f *frame) Var(slot int) value.Value { return f.cells[slot].Load() }
+
+func (f *frame) load(slot int) value.Value {
+	if f.shared {
+		return f.cells[slot].Load()
+	}
+	return f.cells[slot].LoadLocal()
+}
+
+func (f *frame) store(slot int, v value.Value) {
+	if f.shared {
+		f.cells[slot].Store(v)
+		return
+	}
+	f.cells[slot].StoreLocal(v)
+}
+
+// rtErr builds a positioned runtime error.
+func rtErr(pos token.Pos, format string, args ...any) error {
+	return &value.RuntimeError{Msg: fmt.Sprintf(format, args...), Pos: pos.String()}
+}
+
+// call runs fn with the given argument values on this thread.
+func (t *thread) call(fn *ast.FuncDecl, args []value.Value, pos token.Pos) (value.Value, error) {
+	if t.depth >= maxCallDepth {
+		return value.Value{}, rtErr(pos, "call stack exhausted (recursion deeper than %d)", maxCallDepth)
+	}
+	t.depth++
+	defer func() { t.depth-- }()
+
+	f := newFrame(fn)
+	for i, p := range fn.Params {
+		f.store(p.Slot, value.Convert(args[i], p.Type))
+	}
+	t.emit(trace.Call, pos, fn.Name)
+	sig, err := t.execBlock(f, fn.Body)
+	t.emit(trace.Return, pos, fn.Name)
+	if err != nil {
+		return value.Value{}, err
+	}
+	if sig == sigReturn {
+		return t.ret, nil
+	}
+	// Falling off the end: void functions return nothing; value-returning
+	// functions yield the zero value of their result type.
+	if fn.Result != nil {
+		return value.Zero(fn.Result), nil
+	}
+	return value.Value{}, nil
+}
+
+// signal is the non-error control-flow outcome of a statement.
+type signal int
+
+const (
+	sigNone signal = iota
+	sigReturn
+	sigBreak
+	sigContinue
+)
+
+func (t *thread) execBlock(f *frame, b *ast.Block) (signal, error) {
+	for _, s := range b.Stmts {
+		sig, err := t.exec(f, s)
+		if err != nil || sig != sigNone {
+			return sig, err
+		}
+	}
+	return sigNone, nil
+}
+
+func (t *thread) exec(f *frame, s ast.Stmt) (signal, error) {
+	in := t.interp
+	if in.stopped.Load() {
+		return sigNone, errStopped
+	}
+	if t.countWork {
+		t.work++
+	}
+	if in.opts.Step != nil {
+		in.opts.Step(t.id, f.fn, s, f, t.depth)
+	}
+	if in.opts.Tracer != nil {
+		t.emit(trace.Step, s.Pos(), "")
+	}
+
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		_, err := t.eval(f, s.X)
+		return sigNone, err
+
+	case *ast.AssignStmt:
+		return sigNone, t.execAssign(f, s)
+
+	case *ast.IfStmt:
+		cond, err := t.eval(f, s.Cond)
+		if err != nil {
+			return sigNone, err
+		}
+		if cond.Bool() {
+			return t.execBlock(f, s.Then)
+		}
+		if s.Else != nil {
+			return t.execBlock(f, s.Else)
+		}
+		return sigNone, nil
+
+	case *ast.WhileStmt:
+		for {
+			if in.stopped.Load() {
+				return sigNone, errStopped
+			}
+			cond, err := t.eval(f, s.Cond)
+			if err != nil {
+				return sigNone, err
+			}
+			if !cond.Bool() {
+				return sigNone, nil
+			}
+			sig, err := t.execBlock(f, s.Body)
+			if err != nil {
+				return sigNone, err
+			}
+			switch sig {
+			case sigBreak:
+				return sigNone, nil
+			case sigReturn:
+				return sigReturn, nil
+			}
+		}
+
+	case *ast.ForStmt:
+		seq, err := t.eval(f, s.Seq)
+		if err != nil {
+			return sigNone, err
+		}
+		iter := newIterator(seq)
+		for i := 0; i < iter.len(); i++ {
+			if in.stopped.Load() {
+				return sigNone, errStopped
+			}
+			f.store(s.Var.Slot, iter.at(i))
+			sig, err := t.execBlock(f, s.Body)
+			if err != nil {
+				return sigNone, err
+			}
+			switch sig {
+			case sigBreak:
+				return sigNone, nil
+			case sigReturn:
+				return sigReturn, nil
+			}
+		}
+		return sigNone, nil
+
+	case *ast.ParallelStmt:
+		return sigNone, t.execParallel(f, s)
+
+	case *ast.BackgroundStmt:
+		return sigNone, t.execBackground(f, s)
+
+	case *ast.ParallelForStmt:
+		return sigNone, t.execParallelFor(f, s)
+
+	case *ast.LockStmt:
+		return t.execLock(f, s)
+
+	case *ast.ReturnStmt:
+		if s.Value != nil {
+			v, err := t.eval(f, s.Value)
+			if err != nil {
+				return sigNone, err
+			}
+			t.ret = value.Convert(v, f.fn.Result)
+		} else {
+			t.ret = value.Value{}
+		}
+		return sigReturn, nil
+
+	case *ast.BreakStmt:
+		return sigBreak, nil
+	case *ast.ContinueStmt:
+		return sigContinue, nil
+	case *ast.PassStmt:
+		return sigNone, nil
+	}
+	return sigNone, rtErr(s.Pos(), "internal: unknown statement %T", s)
+}
+
+func (t *thread) execAssign(f *frame, s *ast.AssignStmt) error {
+	v, err := t.eval(f, s.Value)
+	if err != nil {
+		return err
+	}
+	switch target := s.Target.(type) {
+	case *ast.Ident:
+		if s.Op != token.ASSIGN {
+			old := f.load(target.Slot)
+			if t.interp.opts.TraceVars && f.shared {
+				t.emitVar(trace.VarRead, target.Pos(), target.Name, f.cells[target.Slot])
+			}
+			v, err = arith(augOp(s.Op), old, v, s.OpPos)
+			if err != nil {
+				return err
+			}
+		}
+		v = value.Convert(v, target.Type())
+		f.store(target.Slot, v)
+		if t.interp.opts.TraceVars && f.shared {
+			t.emitVar(trace.VarWrite, target.Pos(), target.Name, f.cells[target.Slot])
+		}
+		return nil
+
+	case *ast.IndexExpr:
+		arrV, err := t.eval(f, target.X)
+		if err != nil {
+			return err
+		}
+		idxV, err := t.eval(f, target.Index)
+		if err != nil {
+			return err
+		}
+		if arrV.K == value.Str {
+			return rtErr(target.Pos(), "strings are immutable; cannot assign to an index of a string")
+		}
+		a := arrV.Array()
+		i := idxV.Int()
+		if !a.InRange(i) {
+			return rtErr(target.Pos(), "index %d out of range for array of length %d", i, a.Len())
+		}
+		if s.Op != token.ASSIGN {
+			v, err = arith(augOp(s.Op), a.Get(int(i)), v, s.OpPos)
+			if err != nil {
+				return err
+			}
+		}
+		a.Set(int(i), value.Convert(v, target.Type()))
+		return nil
+	}
+	return rtErr(s.Pos(), "internal: bad assignment target %T", s.Target)
+}
+
+func augOp(k token.Kind) token.Kind {
+	switch k {
+	case token.PLUSASSIGN:
+		return token.PLUS
+	case token.MINUSASSIGN:
+		return token.MINUS
+	case token.STARASSIGN:
+		return token.STAR
+	case token.SLASHASSIGN:
+		return token.SLASH
+	default:
+		return token.PERCENT
+	}
+}
+
+// spawn launches body() as a new Tetra thread and reports its completion on
+// the WaitGroup. Runtime errors are recorded on the interpreter.
+func (t *thread) spawn(wg *sync.WaitGroup, run func(nt *thread) error) {
+	nt := t.interp.newThread(t.id)
+	if wg != nil {
+		wg.Add(1)
+	} else {
+		t.interp.background.Add(1)
+	}
+	go func() {
+		if wg != nil {
+			defer wg.Done()
+		} else {
+			defer t.interp.background.Done()
+		}
+		nt.traceStart()
+		err := run(nt)
+		nt.traceEnd()
+		t.interp.addProfile(nt)
+		if err != nil && err != errStopped {
+			t.interp.setErr(err)
+		}
+	}()
+}
+
+// execParallel runs each child statement in its own thread and waits for
+// all of them (paper §II: fork-join over the block's statements).
+func (t *thread) execParallel(f *frame, s *ast.ParallelStmt) error {
+	var wg sync.WaitGroup
+	for _, child := range s.Body.Stmts {
+		child := child
+		t.spawn(&wg, func(nt *thread) error {
+			_, err := nt.exec(f, child)
+			return err
+		})
+	}
+	wg.Wait()
+	if t.interp.stopped.Load() {
+		return errStopped
+	}
+	return nil
+}
+
+// execBackground launches each child statement in its own thread and moves
+// on immediately.
+func (t *thread) execBackground(f *frame, s *ast.BackgroundStmt) error {
+	for _, child := range s.Body.Stmts {
+		child := child
+		t.spawn(nil, func(nt *thread) error {
+			_, err := nt.exec(f, child)
+			return err
+		})
+	}
+	return nil
+}
+
+// execParallelFor evaluates the sequence once, then runs one thread per
+// element. Each thread shares the enclosing frame but owns a private cell
+// for the induction variable.
+func (t *thread) execParallelFor(f *frame, s *ast.ParallelForStmt) error {
+	seq, err := t.eval(f, s.Seq)
+	if err != nil {
+		return err
+	}
+	iter := newIterator(seq)
+	var wg sync.WaitGroup
+	for i := 0; i < iter.len(); i++ {
+		view := f.fork(s.Var.Slot, iter.at(i))
+		t.spawn(&wg, func(nt *thread) error {
+			sig, err := nt.execBlock(view, s.Body)
+			_ = sig // break/continue are rejected by the checker
+			return err
+		})
+	}
+	wg.Wait()
+	if t.interp.stopped.Load() {
+		return errStopped
+	}
+	return nil
+}
+
+func (t *thread) execLock(f *frame, s *ast.LockStmt) (signal, error) {
+	if err := t.interp.locks.acquire(t, s); err != nil {
+		return sigNone, err
+	}
+	t.held = append(t.held, s.LockIndex)
+	t.emit(trace.LockAcquire, s.Pos(), s.Name)
+
+	sig, err := t.execBlock(f, s.Body)
+
+	t.held = t.held[:len(t.held)-1]
+	t.interp.locks.release(s.LockIndex)
+	t.emit(trace.LockRelease, s.Pos(), s.Name)
+	return sig, err
+}
+
+// iterator walks an array or a string (by one-character strings).
+type iterator struct {
+	arr *value.Array
+	str string
+}
+
+func newIterator(seq value.Value) iterator {
+	if seq.K == value.Str {
+		return iterator{str: seq.Str()}
+	}
+	return iterator{arr: seq.Array()}
+}
+
+func (it iterator) len() int {
+	if it.arr != nil {
+		return it.arr.Len()
+	}
+	return len(it.str)
+}
+
+func (it iterator) at(i int) value.Value {
+	if it.arr != nil {
+		return it.arr.Get(i)
+	}
+	return value.NewString(it.str[i : i+1])
+}
+
+// lockRegistry implements Tetra's named lock blocks with live deadlock
+// detection. All lock state transitions happen under one registry mutex;
+// waiters park on the condition variable and are woken by broadcasts on any
+// release. Lock operations are rare relative to ordinary statements, so the
+// single mutex is not a scalability concern — and it is what makes an
+// atomic wait-for-graph check possible.
+type lockRegistry struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	graph  *deadlock.Graph
+	names  []string
+	detect bool
+}
+
+func newLockRegistry(names []string, detect bool) *lockRegistry {
+	r := &lockRegistry{graph: deadlock.NewGraph(names), names: names, detect: detect}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *lockRegistry) acquire(t *thread, s *ast.LockStmt) error {
+	idx := s.LockIndex
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	waited := false
+	for r.graph.Owner(idx) != -1 {
+		if r.graph.Owner(idx) == t.id {
+			return rtErr(s.Pos(), "deadlock: thread %d already holds lock %q and would wait for itself", t.id, s.Name)
+		}
+		if !waited {
+			waited = true
+			t.emit(trace.LockWait, s.Pos(), s.Name)
+		}
+		r.graph.SetWaiting(t.id, idx)
+		if r.detect {
+			if c := r.graph.FindCycle(t.id); c != nil {
+				r.graph.ClearWaiting(t.id)
+				return rtErr(s.Pos(), "deadlock detected: %s", c)
+			}
+		}
+		if t.interp.stopped.Load() {
+			r.graph.ClearWaiting(t.id)
+			return errStopped
+		}
+		r.cond.Wait()
+	}
+	r.graph.ClearWaiting(t.id)
+	r.graph.SetOwner(idx, t.id)
+	return nil
+}
+
+func (r *lockRegistry) release(idx int) {
+	r.mu.Lock()
+	r.graph.SetOwner(idx, -1)
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// eval evaluates an expression to a value.
+func (t *thread) eval(f *frame, e ast.Expr) (value.Value, error) {
+	if t.countWork {
+		t.work++
+	}
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return value.NewInt(e.Value), nil
+	case *ast.RealLit:
+		return value.NewReal(e.Value), nil
+	case *ast.StringLit:
+		return value.NewString(e.Value), nil
+	case *ast.BoolLit:
+		return value.NewBool(e.Value), nil
+
+	case *ast.Ident:
+		v := f.load(e.Slot)
+		if t.interp.opts.TraceVars && f.shared {
+			t.emitVar(trace.VarRead, e.Pos(), e.Name, f.cells[e.Slot])
+		}
+		return v, nil
+
+	case *ast.ArrayLit:
+		elemType := e.Type().Elem()
+		elems := make([]value.Value, len(e.Elems))
+		for i, el := range e.Elems {
+			v, err := t.eval(f, el)
+			if err != nil {
+				return value.Value{}, err
+			}
+			elems[i] = value.Convert(v, elemType)
+		}
+		return value.NewArray(value.FromSlice(elemType, elems)), nil
+
+	case *ast.RangeLit:
+		lo, err := t.eval(f, e.Lo)
+		if err != nil {
+			return value.Value{}, err
+		}
+		hi, err := t.eval(f, e.Hi)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return makeRange(lo.Int(), hi.Int(), e.Pos())
+
+	case *ast.UnaryExpr:
+		v, err := t.eval(f, e.X)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if e.Op == token.NOT {
+			return value.NewBool(!v.Bool()), nil
+		}
+		if v.K == value.Int {
+			return value.NewInt(-v.Int()), nil
+		}
+		return value.NewReal(-v.Real()), nil
+
+	case *ast.BinaryExpr:
+		return t.evalBinary(f, e)
+
+	case *ast.IndexExpr:
+		x, err := t.eval(f, e.X)
+		if err != nil {
+			return value.Value{}, err
+		}
+		idx, err := t.eval(f, e.Index)
+		if err != nil {
+			return value.Value{}, err
+		}
+		i := idx.Int()
+		if x.K == value.Str {
+			s := x.Str()
+			if i < 0 || i >= int64(len(s)) {
+				return value.Value{}, rtErr(e.Pos(), "index %d out of range for string of length %d", i, len(s))
+			}
+			return value.NewString(s[i : i+1]), nil
+		}
+		a := x.Array()
+		if !a.InRange(i) {
+			return value.Value{}, rtErr(e.Pos(), "index %d out of range for array of length %d", i, a.Len())
+		}
+		return a.Get(int(i)), nil
+
+	case *ast.CallExpr:
+		return t.evalCall(f, e)
+	}
+	return value.Value{}, rtErr(e.Pos(), "internal: unknown expression %T", e)
+}
+
+func makeRange(lo, hi int64, pos token.Pos) (value.Value, error) {
+	n := hi - lo + 1 // inclusive range [lo .. hi]
+	if n < 0 {
+		n = 0
+	}
+	if n > 1<<28 {
+		return value.Value{}, rtErr(pos, "range [%d .. %d] too large", lo, hi)
+	}
+	elems := make([]value.Value, n)
+	for i := int64(0); i < n; i++ {
+		elems[i] = value.NewInt(lo + i)
+	}
+	return value.NewArray(value.FromSlice(types.IntType, elems)), nil
+}
+
+func (t *thread) evalBinary(f *frame, e *ast.BinaryExpr) (value.Value, error) {
+	// Short-circuit logical operators.
+	if e.Op == token.AND || e.Op == token.OR {
+		l, err := t.eval(f, e.X)
+		if err != nil {
+			return value.Value{}, err
+		}
+		if e.Op == token.AND && !l.Bool() {
+			return value.NewBool(false), nil
+		}
+		if e.Op == token.OR && l.Bool() {
+			return value.NewBool(true), nil
+		}
+		r, err := t.eval(f, e.Y)
+		if err != nil {
+			return value.Value{}, err
+		}
+		return value.NewBool(r.Bool()), nil
+	}
+
+	l, err := t.eval(f, e.X)
+	if err != nil {
+		return value.Value{}, err
+	}
+	r, err := t.eval(f, e.Y)
+	if err != nil {
+		return value.Value{}, err
+	}
+
+	switch e.Op {
+	case token.EQ:
+		return value.NewBool(value.Equal(l, r)), nil
+	case token.NE:
+		return value.NewBool(!value.Equal(l, r)), nil
+	case token.LT, token.LE, token.GT, token.GE:
+		return compare(e.Op, l, r), nil
+	default:
+		return arith(e.Op, l, r, e.OpPos)
+	}
+}
+
+func compare(op token.Kind, l, r value.Value) value.Value {
+	var cmp int
+	if l.K == value.Str {
+		switch {
+		case l.Str() < r.Str():
+			cmp = -1
+		case l.Str() > r.Str():
+			cmp = 1
+		}
+	} else if l.K == value.Int && r.K == value.Int {
+		a, b := l.Int(), r.Int()
+		switch {
+		case a < b:
+			cmp = -1
+		case a > b:
+			cmp = 1
+		}
+	} else {
+		a, b := l.AsReal(), r.AsReal()
+		switch {
+		case a < b:
+			cmp = -1
+		case a > b:
+			cmp = 1
+		}
+	}
+	switch op {
+	case token.LT:
+		return value.NewBool(cmp < 0)
+	case token.LE:
+		return value.NewBool(cmp <= 0)
+	case token.GT:
+		return value.NewBool(cmp > 0)
+	default:
+		return value.NewBool(cmp >= 0)
+	}
+}
+
+// arith implements + - * / % with Tetra's numeric rules: int op int stays
+// int (integer division), any real operand widens both to real, and + also
+// concatenates strings.
+func arith(op token.Kind, l, r value.Value, pos token.Pos) (value.Value, error) {
+	if l.K == value.Str {
+		return value.NewString(l.Str() + r.Str()), nil
+	}
+	if l.K == value.Int && r.K == value.Int {
+		a, b := l.Int(), r.Int()
+		switch op {
+		case token.PLUS:
+			return value.NewInt(a + b), nil
+		case token.MINUS:
+			return value.NewInt(a - b), nil
+		case token.STAR:
+			return value.NewInt(a * b), nil
+		case token.SLASH:
+			if b == 0 {
+				return value.Value{}, rtErr(pos, "division by zero")
+			}
+			return value.NewInt(a / b), nil
+		default:
+			if b == 0 {
+				return value.Value{}, rtErr(pos, "modulo by zero")
+			}
+			return value.NewInt(a % b), nil
+		}
+	}
+	a, b := l.AsReal(), r.AsReal()
+	switch op {
+	case token.PLUS:
+		return value.NewReal(a + b), nil
+	case token.MINUS:
+		return value.NewReal(a - b), nil
+	case token.STAR:
+		return value.NewReal(a * b), nil
+	case token.SLASH:
+		return value.NewReal(a / b), nil
+	default:
+		return value.NewReal(math.Mod(a, b)), nil
+	}
+}
+
+func (t *thread) evalCall(f *frame, e *ast.CallExpr) (value.Value, error) {
+	args := make([]value.Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := t.eval(f, a)
+		if err != nil {
+			return value.Value{}, err
+		}
+		args[i] = v
+	}
+	if e.IsBuiltin {
+		b := stdlib.ByID(e.Builtin)
+		if b.ID == stdlib.Print && t.interp.opts.Tracer != nil {
+			var parts []string
+			for _, a := range args {
+				parts = append(parts, a.String())
+			}
+			t.emit(trace.Output, e.Pos(), joinStrings(parts))
+		}
+		v, err := b.Eval(t.interp.opts.Env, args)
+		if err != nil {
+			return value.Value{}, rtErr(e.Pos(), "%v", err)
+		}
+		return v, nil
+	}
+	fn := t.interp.prog.Funcs[e.FuncIndex]
+	return t.call(fn, args, e.Pos())
+}
+
+func joinStrings(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += p
+	}
+	return out
+}

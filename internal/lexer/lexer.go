@@ -1,0 +1,455 @@
+// Package lexer implements the hand-written Tetra scanner.
+//
+// The paper notes the lexical analyzer was hand-written "which was necessary
+// to handle the significant white space in Tetra". This scanner does the
+// same: it tracks a stack of indentation levels and synthesizes NEWLINE,
+// INDENT and DEDENT tokens, Python-style. Inside parentheses or brackets,
+// newlines are ignored so expressions may span lines.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/token"
+)
+
+// Error is a lexical error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans Tetra source text into tokens.
+type Lexer struct {
+	src  string
+	file string
+
+	off    int // byte offset of next rune
+	line   int // current line (1-based)
+	col    int // current column (1-based, in runes)
+	indent []int
+	// pending holds synthesized tokens (DEDENTs, trailing NEWLINE) that must
+	// be delivered before scanning resumes.
+	pending []token.Token
+	// depth counts open ( and [ pairs; newlines inside are insignificant.
+	depth int
+	// atLineStart is true when the scanner is positioned at the beginning of
+	// a (possibly blank) physical line and must measure indentation.
+	atLineStart bool
+	// emittedAny tracks whether any significant token has appeared on the
+	// current logical line, so blank/comment-only lines produce no NEWLINE.
+	emittedAny bool
+	err        *Error
+	done       bool
+}
+
+// New returns a lexer over src. The file name is used in positions only.
+func New(file, src string) *Lexer {
+	// Normalize line endings so \r\n sources lex like \n sources.
+	src = strings.ReplaceAll(src, "\r\n", "\n")
+	src = strings.ReplaceAll(src, "\r", "\n")
+	return &Lexer{
+		src:         src,
+		file:        file,
+		line:        1,
+		col:         1,
+		indent:      []int{0},
+		atLineStart: true,
+	}
+}
+
+// Tokens scans the entire input and returns the token stream, ending with
+// EOF, or the first lexical error.
+func Tokens(file, src string) ([]token.Token, error) {
+	lx := New(file, src)
+	var toks []token.Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF || t.Kind == token.ILLEGAL {
+			break
+		}
+	}
+	if err := lx.Err(); err != nil {
+		return toks, err
+	}
+	return toks, nil
+}
+
+// Err returns the first lexical error encountered, if any.
+func (lx *Lexer) Err() error {
+	if lx.err != nil {
+		return lx.err
+	}
+	return nil
+}
+
+func (lx *Lexer) pos() token.Pos {
+	return token.Pos{File: lx.file, Line: lx.line, Col: lx.col}
+}
+
+func (lx *Lexer) errorf(pos token.Pos, format string, args ...any) token.Token {
+	if lx.err == nil {
+		lx.err = &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	}
+	lx.done = true
+	return token.Token{Kind: token.ILLEGAL, Lit: lx.err.Msg, Pos: pos}
+}
+
+// peek returns the next rune without consuming it, or -1 at end of input.
+func (lx *Lexer) peek() rune {
+	if lx.off >= len(lx.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.off:])
+	return r
+}
+
+func (lx *Lexer) peekAt(n int) rune {
+	off := lx.off
+	for ; n > 0 && off < len(lx.src); n-- {
+		_, w := utf8.DecodeRuneInString(lx.src[off:])
+		off += w
+	}
+	if off >= len(lx.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[off:])
+	return r
+}
+
+// advance consumes one rune and maintains line/column accounting.
+func (lx *Lexer) advance() rune {
+	if lx.off >= len(lx.src) {
+		return -1
+	}
+	r, w := utf8.DecodeRuneInString(lx.src[lx.off:])
+	lx.off += w
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+// Next returns the next token in the stream. After EOF or an ILLEGAL token
+// it keeps returning EOF.
+func (lx *Lexer) Next() token.Token {
+	if len(lx.pending) > 0 {
+		t := lx.pending[0]
+		lx.pending = lx.pending[1:]
+		return t
+	}
+	if lx.done {
+		return token.Token{Kind: token.EOF, Pos: lx.pos()}
+	}
+	if lx.atLineStart && lx.depth == 0 {
+		if t, ok := lx.scanLineStart(); ok {
+			return t
+		}
+		if len(lx.pending) > 0 {
+			return lx.Next()
+		}
+	}
+	return lx.scanToken()
+}
+
+// scanLineStart measures indentation at the start of a logical line,
+// skipping blank and comment-only lines entirely. It may queue INDENT or
+// DEDENT tokens. The boolean result reports whether a token is returned
+// directly (EOF case).
+func (lx *Lexer) scanLineStart() (token.Token, bool) {
+	for {
+		// Measure leading whitespace. Tabs count as advancing to the next
+		// multiple of 8, matching common Python practice.
+		width := 0
+		for {
+			switch lx.peek() {
+			case ' ':
+				width++
+				lx.advance()
+				continue
+			case '\t':
+				width += 8 - width%8
+				lx.advance()
+				continue
+			}
+			break
+		}
+		switch lx.peek() {
+		case '#':
+			lx.skipComment()
+			continue
+		case '\n':
+			lx.advance()
+			continue
+		case -1:
+			lx.atLineStart = false
+			lx.finish()
+			return lx.Next(), true
+		}
+		lx.atLineStart = false
+		cur := lx.indent[len(lx.indent)-1]
+		switch {
+		case width > cur:
+			lx.indent = append(lx.indent, width)
+			return token.Token{Kind: token.INDENT, Pos: lx.pos()}, true
+		case width < cur:
+			for len(lx.indent) > 1 && lx.indent[len(lx.indent)-1] > width {
+				lx.indent = lx.indent[:len(lx.indent)-1]
+				lx.pending = append(lx.pending, token.Token{Kind: token.DEDENT, Pos: lx.pos()})
+			}
+			if lx.indent[len(lx.indent)-1] != width {
+				return lx.errorf(lx.pos(), "unindent does not match any outer indentation level"), true
+			}
+			return token.Token{}, false // deliver queued DEDENTs
+		default:
+			return token.Token{}, false
+		}
+	}
+}
+
+// finish emits the final NEWLINE (if a statement is open), closes all open
+// indentation levels, and queues EOF.
+func (lx *Lexer) finish() {
+	p := lx.pos()
+	if lx.emittedAny {
+		lx.pending = append(lx.pending, token.Token{Kind: token.NEWLINE, Pos: p})
+		lx.emittedAny = false
+	}
+	for len(lx.indent) > 1 {
+		lx.indent = lx.indent[:len(lx.indent)-1]
+		lx.pending = append(lx.pending, token.Token{Kind: token.DEDENT, Pos: p})
+	}
+	lx.pending = append(lx.pending, token.Token{Kind: token.EOF, Pos: p})
+	lx.done = true
+}
+
+func (lx *Lexer) skipComment() {
+	for r := lx.peek(); r != '\n' && r != -1; r = lx.peek() {
+		lx.advance()
+	}
+}
+
+func (lx *Lexer) scanToken() token.Token {
+	// Skip intra-line whitespace and comments.
+	for {
+		switch lx.peek() {
+		case ' ', '\t':
+			lx.advance()
+			continue
+		case '#':
+			lx.skipComment()
+			continue
+		}
+		break
+	}
+
+	pos := lx.pos()
+	r := lx.peek()
+	switch {
+	case r == -1:
+		lx.finish()
+		return lx.Next()
+	case r == '\n':
+		lx.advance()
+		if lx.depth > 0 {
+			// Newlines inside brackets are insignificant.
+			return lx.scanToken()
+		}
+		lx.atLineStart = true
+		if lx.emittedAny {
+			lx.emittedAny = false
+			return token.Token{Kind: token.NEWLINE, Pos: pos}
+		}
+		return lx.Next()
+	case isIdentStart(r):
+		return lx.scanIdent(pos)
+	case unicode.IsDigit(r):
+		return lx.scanNumber(pos)
+	case r == '"':
+		return lx.scanString(pos)
+	}
+
+	lx.advance()
+	lx.emittedAny = true
+	mk := func(k token.Kind) token.Token { return token.Token{Kind: k, Pos: pos} }
+	switch r {
+	case '(':
+		lx.depth++
+		return mk(token.LPAREN)
+	case ')':
+		if lx.depth > 0 {
+			lx.depth--
+		}
+		return mk(token.RPAREN)
+	case '[':
+		lx.depth++
+		return mk(token.LBRACKET)
+	case ']':
+		if lx.depth > 0 {
+			lx.depth--
+		}
+		return mk(token.RBRACKET)
+	case ',':
+		return mk(token.COMMA)
+	case ':':
+		return mk(token.COLON)
+	case '+':
+		return lx.withAssign(pos, token.PLUS, token.PLUSASSIGN)
+	case '-':
+		return lx.withAssign(pos, token.MINUS, token.MINUSASSIGN)
+	case '*':
+		return lx.withAssign(pos, token.STAR, token.STARASSIGN)
+	case '/':
+		return lx.withAssign(pos, token.SLASH, token.SLASHASSIGN)
+	case '%':
+		return lx.withAssign(pos, token.PERCENT, token.PERCENTASSIGN)
+	case '=':
+		if lx.peek() == '=' {
+			lx.advance()
+			return mk(token.EQ)
+		}
+		return mk(token.ASSIGN)
+	case '!':
+		if lx.peek() == '=' {
+			lx.advance()
+			return mk(token.NE)
+		}
+		return lx.errorf(pos, "unexpected character %q (did you mean !=?)", r)
+	case '<':
+		if lx.peek() == '=' {
+			lx.advance()
+			return mk(token.LE)
+		}
+		return mk(token.LT)
+	case '>':
+		if lx.peek() == '=' {
+			lx.advance()
+			return mk(token.GE)
+		}
+		return mk(token.GT)
+	case '.':
+		if lx.peek() == '.' {
+			lx.advance()
+			return mk(token.DOTDOT)
+		}
+		return lx.errorf(pos, "unexpected character %q", r)
+	}
+	return lx.errorf(pos, "unexpected character %q", r)
+}
+
+func (lx *Lexer) withAssign(pos token.Pos, plain, assign token.Kind) token.Token {
+	if lx.peek() == '=' {
+		lx.advance()
+		return token.Token{Kind: assign, Pos: pos}
+	}
+	return token.Token{Kind: plain, Pos: pos}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (lx *Lexer) scanIdent(pos token.Pos) token.Token {
+	start := lx.off
+	for isIdentCont(lx.peek()) {
+		lx.advance()
+	}
+	lit := lx.src[start:lx.off]
+	lx.emittedAny = true
+	kind := token.Lookup(lit)
+	if kind != token.IDENT {
+		return token.Token{Kind: kind, Pos: pos}
+	}
+	return token.Token{Kind: token.IDENT, Lit: lit, Pos: pos}
+}
+
+func (lx *Lexer) scanNumber(pos token.Pos) token.Token {
+	start := lx.off
+	for unicode.IsDigit(lx.peek()) {
+		lx.advance()
+	}
+	isReal := false
+	// A '.' begins a fractional part only if followed by a digit; "1..10"
+	// must lex as INT DOTDOT INT.
+	if lx.peek() == '.' && unicode.IsDigit(lx.peekAt(1)) {
+		isReal = true
+		lx.advance()
+		for unicode.IsDigit(lx.peek()) {
+			lx.advance()
+		}
+	}
+	if r := lx.peek(); r == 'e' || r == 'E' {
+		// Exponent part: e[+-]?digits.
+		i := 1
+		if s := lx.peekAt(1); s == '+' || s == '-' {
+			i = 2
+		}
+		if unicode.IsDigit(lx.peekAt(i)) {
+			isReal = true
+			lx.advance() // e
+			if s := lx.peek(); s == '+' || s == '-' {
+				lx.advance()
+			}
+			for unicode.IsDigit(lx.peek()) {
+				lx.advance()
+			}
+		}
+	}
+	lit := lx.src[start:lx.off]
+	lx.emittedAny = true
+	if isReal {
+		return token.Token{Kind: token.REAL, Lit: lit, Pos: pos}
+	}
+	return token.Token{Kind: token.INT, Lit: lit, Pos: pos}
+}
+
+func (lx *Lexer) scanString(pos token.Pos) token.Token {
+	lx.advance() // opening quote
+	var sb strings.Builder
+	for {
+		r := lx.peek()
+		switch r {
+		case -1, '\n':
+			return lx.errorf(pos, "unterminated string literal")
+		case '"':
+			lx.advance()
+			lx.emittedAny = true
+			return token.Token{Kind: token.STRING, Lit: sb.String(), Pos: pos}
+		case '\\':
+			lx.advance()
+			esc := lx.advance()
+			switch esc {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			case '0':
+				sb.WriteByte(0)
+			default:
+				return lx.errorf(pos, "unknown escape sequence \\%c", esc)
+			}
+		default:
+			lx.advance()
+			sb.WriteRune(r)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package simsched is a virtual-time multicore scheduler used to reproduce
+// the paper's speedup measurements on hosts that do not have 8 physical
+// cores.
+//
+// The paper's evaluation (§IV) ran two parallel Tetra programs on an 8-core
+// machine and reported ≈5× speedup. When the reproduction host has fewer
+// cores (this repository's CI environment exposes one), wall-clock speedup
+// is physically impossible, so the harness substitutes a simulation with
+// the same structure the real machine provides:
+//
+//  1. The interpreter runs the program (on however many cores exist) and
+//     counts each Tetra thread's executed AST nodes — a deterministic,
+//     hardware-independent proxy for its compute time.
+//  2. This package schedules those per-thread work totals onto P virtual
+//     cores with a greedy longest-processing-time (LPT) list scheduler,
+//     honoring the fork-join structure: the spawning thread's own work is
+//     serial, workers run between fork and join, and every spawn pays a
+//     fixed thread-creation overhead.
+//  3. Simulated time T(P) = serial work + spawn overhead + parallel
+//     makespan; speedup(P) = T(1)/T(P).
+//
+// What the simulation preserves from the real experiment: Amdahl's-law
+// serial fraction, chunk imbalance (the dominant efficiency loss for the
+// primes workload, whose later ranges are more expensive, and for TSP,
+// whose branch-and-bound subtrees differ wildly after pruning), and spawn
+// overhead. What it idealizes: memory-system contention between cores.
+// EXPERIMENTS.md reports the simulated curve side by side with the paper's
+// measured one.
+package simsched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Profile is the fork-join work decomposition of one program run.
+type Profile struct {
+	// Serial is the work executed by the spawning (main) thread itself:
+	// setup, the fork and join, and the reduction afterwards.
+	Serial int64
+	// Workers holds the work of each spawned thread.
+	Workers []int64
+	// SpawnCost is the per-thread creation overhead in work units.
+	SpawnCost int64
+}
+
+// Split derives a Profile from per-thread (id, parent, work) tuples as
+// recorded by the interpreter: thread 0 is serial, all others are workers.
+func Split(ids, parents []int, works []int64, spawnCost int64) Profile {
+	p := Profile{SpawnCost: spawnCost}
+	for i := range ids {
+		if ids[i] == 0 {
+			p.Serial += works[i]
+		} else {
+			p.Workers = append(p.Workers, works[i])
+		}
+	}
+	return p
+}
+
+// Makespan schedules the workers onto `cores` virtual cores with the LPT
+// heuristic and returns the parallel phase's span.
+func Makespan(workers []int64, cores int) int64 {
+	if len(workers) == 0 {
+		return 0
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	sorted := make([]int64, len(workers))
+	copy(sorted, workers)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+	loads := make([]int64, cores)
+	for _, w := range sorted {
+		// Place on the least-loaded core.
+		min := 0
+		for c := 1; c < cores; c++ {
+			if loads[c] < loads[min] {
+				min = c
+			}
+		}
+		loads[min] += w
+	}
+	var span int64
+	for _, l := range loads {
+		if l > span {
+			span = l
+		}
+	}
+	return span
+}
+
+// Time returns the simulated completion time of the profile on the given
+// number of cores.
+func (p Profile) Time(cores int) int64 {
+	return p.Serial + int64(len(p.Workers))*p.SpawnCost + Makespan(p.Workers, cores)
+}
+
+// TotalWork returns serial plus all worker work (the 1-core lower bound,
+// ignoring spawn overhead).
+func (p Profile) TotalWork() int64 {
+	t := p.Serial
+	for _, w := range p.Workers {
+		t += w
+	}
+	return t
+}
+
+// Row is one point of a simulated speedup curve.
+type Row struct {
+	Cores      int
+	Time       int64 // simulated work units
+	Speedup    float64
+	Efficiency float64
+}
+
+// Curve computes the simulated speedup curve for a set of profiles, one
+// per worker count. profiles[i] must be the decomposition of the program
+// configured with coreCounts[i] workers, executed on coreCounts[i] virtual
+// cores (matching the paper's methodology of running P threads on P
+// cores). The baseline T(1) is profiles[0] on coreCounts[0] cores.
+func Curve(coreCounts []int, profiles []Profile) []Row {
+	rows := make([]Row, 0, len(profiles))
+	var t1 int64
+	for i, p := range profiles {
+		t := p.Time(coreCounts[i])
+		if i == 0 {
+			t1 = t
+		}
+		r := Row{Cores: coreCounts[i], Time: t}
+		if t > 0 {
+			r.Speedup = float64(t1) / float64(t)
+			r.Efficiency = r.Speedup / float64(coreCounts[i])
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// FormatCurve renders a simulated curve as a table.
+func FormatCurve(title string, rows []Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	sb.WriteString("  cores   sim-time(units)  speedup  efficiency\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %5d  %16d  %6.2fx  %9.1f%%\n", r.Cores, r.Time, r.Speedup, 100*r.Efficiency)
+	}
+	return sb.String()
+}

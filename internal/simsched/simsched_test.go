@@ -1,0 +1,143 @@
+package simsched
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMakespanBalanced(t *testing.T) {
+	// 8 equal pieces on 8 cores: one piece per core.
+	workers := []int64{10, 10, 10, 10, 10, 10, 10, 10}
+	if got := Makespan(workers, 8); got != 10 {
+		t.Errorf("makespan = %d, want 10", got)
+	}
+	if got := Makespan(workers, 4); got != 20 {
+		t.Errorf("makespan on 4 = %d, want 20", got)
+	}
+	if got := Makespan(workers, 1); got != 80 {
+		t.Errorf("makespan on 1 = %d, want 80", got)
+	}
+}
+
+func TestMakespanImbalanced(t *testing.T) {
+	// One giant piece dominates regardless of core count.
+	workers := []int64{100, 1, 1, 1}
+	if got := Makespan(workers, 4); got != 100 {
+		t.Errorf("makespan = %d, want 100", got)
+	}
+	// LPT puts the long piece alone: {100} {3,2,1} → 100.
+	if got := Makespan([]int64{100, 3, 2, 1}, 2); got != 100 {
+		t.Errorf("makespan = %d", got)
+	}
+	// {5,4} vs {3,3}? LPT: 5→c0, 4→c1, 3→c1(7)? no: least-loaded after
+	// 5,4 is c1(4): 3→c1(7), 3→c0(8) → 8.
+	if got := Makespan([]int64{5, 4, 3, 3}, 2); got != 8 {
+		t.Errorf("makespan = %d, want 8", got)
+	}
+}
+
+func TestMakespanEdgeCases(t *testing.T) {
+	if Makespan(nil, 4) != 0 {
+		t.Error("empty workers")
+	}
+	if Makespan([]int64{7}, 0) != 7 {
+		t.Error("cores < 1 should clamp to 1")
+	}
+}
+
+// Property: makespan is at least the max piece and at least total/cores,
+// and at most total (all on one core).
+func TestMakespanBounds(t *testing.T) {
+	f := func(raw []uint16, coresRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		cores := int(coresRaw%16) + 1
+		workers := make([]int64, len(raw))
+		var total, maxw int64
+		for i, r := range raw {
+			workers[i] = int64(r)
+			total += int64(r)
+			if int64(r) > maxw {
+				maxw = int64(r)
+			}
+		}
+		got := Makespan(workers, cores)
+		lower := total / int64(cores)
+		if got < maxw || got < lower || got > total {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileTime(t *testing.T) {
+	p := Profile{Serial: 100, Workers: []int64{50, 50}, SpawnCost: 5}
+	// serial + 2*spawn + makespan(50,50 on 2) = 100 + 10 + 50
+	if got := p.Time(2); got != 160 {
+		t.Errorf("time = %d, want 160", got)
+	}
+	if got := p.Time(1); got != 210 {
+		t.Errorf("time on 1 = %d, want 210", got)
+	}
+	if p.TotalWork() != 200 {
+		t.Errorf("total work = %d", p.TotalWork())
+	}
+}
+
+func TestSplit(t *testing.T) {
+	p := Split(
+		[]int{0, 1, 2},
+		[]int{-1, 0, 0},
+		[]int64{30, 100, 120},
+		7,
+	)
+	if p.Serial != 30 || len(p.Workers) != 2 || p.SpawnCost != 7 {
+		t.Errorf("profile = %+v", p)
+	}
+}
+
+func TestCurveMonotonicSpeedup(t *testing.T) {
+	// Perfectly balanced decompositions: speedup must grow with cores and
+	// efficiency must stay ≤ 1.
+	coreCounts := []int{1, 2, 4, 8}
+	var profiles []Profile
+	for _, p := range coreCounts {
+		workers := make([]int64, p)
+		for i := range workers {
+			workers[i] = int64(8000 / p)
+		}
+		profiles = append(profiles, Profile{Serial: 100, Workers: workers, SpawnCost: 10})
+	}
+	rows := Curve(coreCounts, profiles)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Speedup != 1.0 {
+		t.Errorf("baseline speedup = %f", rows[0].Speedup)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Speedup <= rows[i-1].Speedup {
+			t.Errorf("speedup not increasing: %v", rows)
+		}
+		if rows[i].Efficiency > 1.0 {
+			t.Errorf("efficiency > 1: %v", rows[i])
+		}
+	}
+	// With a serial fraction and spawn cost, 8-core speedup is sublinear.
+	if rows[3].Speedup >= 8.0 {
+		t.Errorf("8-core speedup %f should be sublinear", rows[3].Speedup)
+	}
+}
+
+func TestFormatCurve(t *testing.T) {
+	rows := []Row{{Cores: 1, Time: 100, Speedup: 1, Efficiency: 1}}
+	text := FormatCurve("title", rows)
+	if !strings.Contains(text, "title") || !strings.Contains(text, "1.00x") {
+		t.Errorf("format = %q", text)
+	}
+}

@@ -1,0 +1,279 @@
+// Package trace records the execution events of a Tetra program run: thread
+// creation and completion, statement steps, and lock operations.
+//
+// This is the data feed behind the IDE features the paper describes
+// (§III, "visualizing program execution across multiple threads"): the
+// ASCII timeline renderer in this package substitutes for the Qt view, and
+// the race (internal/racedetect) and deadlock (internal/deadlock) detectors
+// consume the same stream.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/token"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds.
+const (
+	ThreadStart Kind = iota // a Tetra thread began (Parent is the spawner)
+	ThreadEnd               // a Tetra thread finished
+	Step                    // a statement began executing
+	LockWait                // thread reached a lock block and may block
+	LockAcquire             // thread entered the lock block
+	LockRelease             // thread left the lock block
+	VarRead                 // a shared variable was read   (Name = variable)
+	VarWrite                // a shared variable was written (Name = variable)
+	Output                  // the program printed (Name = text)
+	Call                    // function call entered (Name = function)
+	Return                  // function call returned (Name = function)
+)
+
+var kindNames = [...]string{
+	ThreadStart: "start",
+	ThreadEnd:   "end",
+	Step:        "step",
+	LockWait:    "lock-wait",
+	LockAcquire: "lock-acquire",
+	LockRelease: "lock-release",
+	VarRead:     "read",
+	VarWrite:    "write",
+	Output:      "print",
+	Call:        "call",
+	Return:      "return",
+}
+
+// String returns the event kind's short name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence. Seq orders events totally (assigned
+// under the collector's lock, so the order is consistent with the
+// happens-before edges the collector observes).
+type Event struct {
+	Seq    int64
+	Nanos  int64 // monotonic nanoseconds since collection started
+	Thread int   // Tetra thread id (main is 0)
+	Parent int   // spawning thread, for ThreadStart
+	Kind   Kind
+	Pos    token.Pos
+	Name   string // lock name, variable name, function name, or output text
+	// Locks is the set of lock indices held by the thread at the time of a
+	// VarRead/VarWrite event; consumed by the lockset race detector.
+	Locks []int
+	// Addr identifies the memory cell of a VarRead/VarWrite event, so the
+	// race detector can distinguish same-named variables in different
+	// frames.
+	Addr uint64
+}
+
+// String renders the event for logs: "t1 lock-acquire largest @ max.ttr:7:9".
+func (e Event) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "t%d %s", e.Thread, e.Kind)
+	if e.Name != "" {
+		sb.WriteString(" " + e.Name)
+	}
+	if e.Pos.IsValid() {
+		fmt.Fprintf(&sb, " @ %s", e.Pos)
+	}
+	return sb.String()
+}
+
+// Tracer receives events. Implementations must be safe for concurrent use;
+// the interpreter calls Emit from every Tetra thread.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Collector is a Tracer that buffers every event in memory.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+	seq    int64
+	start  time.Time
+	// Filter, when non-zero, drops event kinds whose bit is unset. Zero
+	// means "record everything".
+	Filter uint64
+}
+
+// NewCollector returns an empty collector recording all event kinds.
+func NewCollector() *Collector {
+	return &Collector{start: time.Now()}
+}
+
+// NewCollectorFor returns a collector recording only the given kinds.
+func NewCollectorFor(kinds ...Kind) *Collector {
+	c := NewCollector()
+	for _, k := range kinds {
+		c.Filter |= 1 << uint(k)
+	}
+	return c
+}
+
+// Emit records the event, assigning its sequence number and timestamp.
+func (c *Collector) Emit(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Filter != 0 && c.Filter&(1<<uint(e.Kind)) == 0 {
+		return
+	}
+	c.seq++
+	e.Seq = c.seq
+	e.Nanos = time.Since(c.start).Nanoseconds()
+	c.events = append(c.events, e)
+}
+
+// Events returns a snapshot copy of the recorded events in order.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// Threads returns the sorted set of thread ids appearing in the events.
+func Threads(events []Event) []int {
+	seen := map[int]bool{}
+	for _, e := range events {
+		seen[e.Thread] = true
+	}
+	out := make([]int, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Timeline renders the events as an ASCII chart with one column per thread,
+// the textual stand-in for the IDE's multi-thread execution view. Each row
+// is one event, placed in its thread's lane:
+//
+//	seq  thread 0          thread 1          thread 2
+//	  1  spawn t1
+//	  2                    start
+//	  3                    step sum.ttr:5:9
+//
+// maxRows truncates long traces (0 = no limit).
+func Timeline(events []Event, maxRows int) string {
+	threads := Threads(events)
+	lane := make(map[int]int, len(threads))
+	for i, t := range threads {
+		lane[t] = i
+	}
+	const width = 22
+
+	var sb strings.Builder
+	sb.WriteString("  seq ")
+	for _, t := range threads {
+		cell := fmt.Sprintf("thread %d", t)
+		sb.WriteString(pad(cell, width))
+	}
+	sb.WriteByte('\n')
+
+	rows := events
+	truncated := 0
+	if maxRows > 0 && len(rows) > maxRows {
+		truncated = len(rows) - maxRows
+		rows = rows[:maxRows]
+	}
+	for _, e := range rows {
+		fmt.Fprintf(&sb, "%5d ", e.Seq)
+		for i := 0; i < lane[e.Thread]; i++ {
+			sb.WriteString(strings.Repeat(" ", width))
+		}
+		sb.WriteString(cellText(e))
+		sb.WriteByte('\n')
+	}
+	if truncated > 0 {
+		fmt.Fprintf(&sb, "... %d more events\n", truncated)
+	}
+	return sb.String()
+}
+
+func cellText(e Event) string {
+	var s string
+	switch e.Kind {
+	case ThreadStart:
+		s = fmt.Sprintf("start (from t%d)", e.Parent)
+	case ThreadEnd:
+		s = "end"
+	case Step:
+		s = fmt.Sprintf("step %d:%d", e.Pos.Line, e.Pos.Col)
+	case LockWait:
+		s = "wait " + e.Name
+	case LockAcquire:
+		s = "acquire " + e.Name
+	case LockRelease:
+		s = "release " + e.Name
+	case VarRead:
+		s = "read " + e.Name
+	case VarWrite:
+		s = "write " + e.Name
+	case Output:
+		s = "print " + strings.TrimRight(e.Name, "\n")
+	case Call:
+		s = "call " + e.Name
+	case Return:
+		s = "ret " + e.Name
+	default:
+		s = e.Kind.String()
+	}
+	return s
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s[:w-1] + " "
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Summary aggregates a trace into per-thread counts, useful in tests and
+// the CLI's trace report footer.
+type Summary struct {
+	Threads      int
+	Steps        int
+	LockAcquires int
+	LockWaits    int
+	Outputs      int
+}
+
+// Summarize computes aggregate counts over the events.
+func Summarize(events []Event) Summary {
+	var s Summary
+	s.Threads = len(Threads(events))
+	for _, e := range events {
+		switch e.Kind {
+		case Step:
+			s.Steps++
+		case LockAcquire:
+			s.LockAcquires++
+		case LockWait:
+			s.LockWaits++
+		case Output:
+			s.Outputs++
+		}
+	}
+	return s
+}

@@ -1,0 +1,427 @@
+// Package value defines the runtime representation of Tetra values and the
+// variable cells threads share.
+//
+// Values are a compact tagged struct rather than an interface so that
+// integer and real arithmetic never allocates — the paper reports "a lot of
+// effort was put into ensuring that the interpreter actually provides
+// speedup when given a parallel program" (§IV), and per-operation boxing
+// would dominate the profile.
+//
+// Variables are Cells. Because Tetra threads share the enclosing function's
+// symbol table (paper §IV: "they have private and shared symbol tables"),
+// a cell can be read and written by several goroutines at once. Cells guard
+// the stored value with a mutex so the *interpreter* stays memory-safe in
+// Go terms, while Tetra-level read-modify-write races (the lost-update in
+// Figure III's max program) remain fully observable for teaching.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/types"
+)
+
+// Kind tags a runtime value. It mirrors types.Kind but is separate so the
+// runtime does not depend on type objects.
+type Kind uint8
+
+// Runtime value kinds. None is the "absence of a value" produced by void
+// calls and unset cells.
+const (
+	None Kind = iota
+	Int
+	Real
+	Str
+	Bool
+	Arr
+)
+
+// Value is a single Tetra runtime value.
+type Value struct {
+	K Kind
+	B uint64 // int64 bits, real float64 bits, or bool 0/1
+	S string
+	A *Array
+}
+
+// Constructors.
+
+// NewInt returns an int value.
+func NewInt(v int64) Value { return Value{K: Int, B: uint64(v)} }
+
+// NewReal returns a real value.
+func NewReal(v float64) Value { return Value{K: Real, B: math.Float64bits(v)} }
+
+// NewString returns a string value.
+func NewString(s string) Value { return Value{K: Str, S: s} }
+
+// NewBool returns a bool value.
+func NewBool(b bool) Value {
+	if b {
+		return Value{K: Bool, B: 1}
+	}
+	return Value{K: Bool}
+}
+
+// NewArray returns an array value wrapping a.
+func NewArray(a *Array) Value { return Value{K: Arr, A: a} }
+
+// Accessors. They do not check the kind; callers are the interpreter and VM,
+// which run over type-checked programs.
+
+// Int returns the int payload.
+func (v Value) Int() int64 { return int64(v.B) }
+
+// Real returns the real payload.
+func (v Value) Real() float64 { return math.Float64frombits(v.B) }
+
+// Str returns the string payload.
+func (v Value) Str() string { return v.S }
+
+// Bool returns the bool payload.
+func (v Value) Bool() bool { return v.B != 0 }
+
+// Array returns the array payload.
+func (v Value) Array() *Array { return v.A }
+
+// AsReal returns the numeric payload widened to float64; it accepts both
+// int and real values (the implicit int→real widening).
+func (v Value) AsReal() float64 {
+	if v.K == Int {
+		return float64(int64(v.B))
+	}
+	return math.Float64frombits(v.B)
+}
+
+// IsNone reports whether the value is absent.
+func (v Value) IsNone() bool { return v.K == None }
+
+// Equal reports deep value equality. Arrays compare element-wise.
+func Equal(a, b Value) bool {
+	if a.K != b.K {
+		// Allow numeric cross-kind comparison: 1 == 1.0.
+		if (a.K == Int || a.K == Real) && (b.K == Int || b.K == Real) {
+			return a.AsReal() == b.AsReal()
+		}
+		return false
+	}
+	switch a.K {
+	case Int, Bool:
+		return a.B == b.B
+	case Real:
+		return a.Real() == b.Real()
+	case Str:
+		return a.S == b.S
+	case Arr:
+		x, y := a.A, b.A
+		if x == y {
+			return true
+		}
+		if x == nil || y == nil || x.Len() != y.Len() {
+			return false
+		}
+		for i := 0; i < x.Len(); i++ {
+			if !Equal(x.Get(i), y.Get(i)) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// String renders the value the way Tetra's print does: Python-ish, arrays
+// as [a, b, c], reals with a trailing .0 when integral.
+func (v Value) String() string {
+	switch v.K {
+	case Int:
+		return strconv.FormatInt(int64(v.B), 10)
+	case Real:
+		return FormatReal(v.Real())
+	case Str:
+		return v.S
+	case Bool:
+		if v.B != 0 {
+			return "true"
+		}
+		return "false"
+	case Arr:
+		var sb strings.Builder
+		sb.WriteByte('[')
+		for i := 0; i < v.A.Len(); i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			el := v.A.Get(i)
+			if el.K == Str {
+				sb.WriteString(strconv.Quote(el.S))
+			} else {
+				sb.WriteString(el.String())
+			}
+		}
+		sb.WriteByte(']')
+		return sb.String()
+	default:
+		return "none"
+	}
+}
+
+// FormatReal renders a float64 in Tetra's print format: shortest
+// representation, with ".0" appended to integral values so reals stay
+// visually distinct from ints.
+func FormatReal(f float64) string {
+	if math.IsInf(f, 1) {
+		return "inf"
+	}
+	if math.IsInf(f, -1) {
+		return "-inf"
+	}
+	if math.IsNaN(f) {
+		return "nan"
+	}
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// TypeOf returns the static type matching the value's dynamic shape. Array
+// element types are taken from the array's recorded element type, so empty
+// arrays stay typed.
+func TypeOf(v Value) *types.Type {
+	switch v.K {
+	case Int:
+		return types.IntType
+	case Real:
+		return types.RealType
+	case Str:
+		return types.StringType
+	case Bool:
+		return types.BoolType
+	case Arr:
+		if v.A != nil && v.A.Elem != nil {
+			return types.ArrayOf(v.A.Elem)
+		}
+		return types.ArrayOf(types.IntType)
+	default:
+		return nil
+	}
+}
+
+// Zero returns the zero value of a static type: 0, 0.0, "", false, or an
+// empty array.
+func Zero(t *types.Type) Value {
+	switch t.Kind() {
+	case types.Int:
+		return NewInt(0)
+	case types.Real:
+		return NewReal(0)
+	case types.String:
+		return NewString("")
+	case types.Bool:
+		return NewBool(false)
+	case types.Array:
+		return NewArray(NewArrayOf(t.Elem(), 0))
+	default:
+		return Value{}
+	}
+}
+
+// Convert coerces v to the target type, applying int→real widening. It is
+// used at assignment, argument-passing and return boundaries. Converting to
+// the value's own type is the identity.
+func Convert(v Value, t *types.Type) Value {
+	if t.Kind() == types.Real && v.K == Int {
+		return NewReal(float64(int64(v.B)))
+	}
+	return v
+}
+
+// Array is a Tetra array: reference semantics, like a Python list. Elem
+// records the static element type so empty arrays keep their typing and
+// print sensibly.
+//
+// Concurrent access to *distinct* elements from parallel threads is always
+// safe. For scalar element types (int, real, bool) the elements live in a
+// word array accessed atomically, so even a Tetra-level race on the *same*
+// element — the unlocked double-checked reads the paper's Figure III
+// pattern relies on — can never tear a value or trip Go's race detector:
+// racy Tetra programs misbehave only in Tetra terms (lost updates), never
+// in Go terms. String- and array-element races remain undefined behaviour,
+// exactly as in the original Pthreads interpreter; programs use `lock`.
+//
+// Append (the future-work growable operation) is not safe against
+// concurrent access of any kind.
+type Array struct {
+	Elem *types.Type
+	// scalar is the element kind for word storage, or None for boxed
+	// storage (string/array elements).
+	scalar Kind
+	words  []uint64 // scalar elements, accessed with sync/atomic
+	elems  []Value  // boxed elements
+}
+
+// scalarKindFor returns the word-storage kind for an element type, or
+// None when elements must be boxed.
+func scalarKindFor(elem *types.Type) Kind {
+	switch elem.Kind() {
+	case types.Int:
+		return Int
+	case types.Real:
+		return Real
+	case types.Bool:
+		return Bool
+	default:
+		return None
+	}
+}
+
+// NewArrayOf allocates an array of n zero elements of the given type.
+func NewArrayOf(elem *types.Type, n int) *Array {
+	a := &Array{Elem: elem, scalar: scalarKindFor(elem)}
+	if a.scalar != None {
+		a.words = make([]uint64, n) // zero bits are the zero value for all three kinds
+		return a
+	}
+	a.elems = make([]Value, n)
+	z := Zero(elem)
+	for i := range a.elems {
+		a.elems[i] = z
+	}
+	return a
+}
+
+// FromSlice builds an array from the given elements. When elem is nil the
+// element kind is inferred from the first value (empty nil-typed arrays
+// use boxed storage).
+func FromSlice(elem *types.Type, elems []Value) *Array {
+	a := &Array{Elem: elem}
+	if elem != nil {
+		a.scalar = scalarKindFor(elem)
+	} else if len(elems) > 0 {
+		switch elems[0].K {
+		case Int, Real, Bool:
+			a.scalar = elems[0].K
+		}
+	}
+	if a.scalar != None {
+		a.words = make([]uint64, len(elems))
+		for i, v := range elems {
+			a.words[i] = v.B
+		}
+		return a
+	}
+	a.elems = elems
+	return a
+}
+
+// Len returns the number of elements.
+func (a *Array) Len() int {
+	if a.scalar != None {
+		return len(a.words)
+	}
+	return len(a.elems)
+}
+
+// Get returns element i. The caller has already bounds-checked via InRange
+// or relies on the runtime's bounds error.
+func (a *Array) Get(i int) Value {
+	if a.scalar != None {
+		return Value{K: a.scalar, B: atomic.LoadUint64(&a.words[i])}
+	}
+	return a.elems[i]
+}
+
+// Set stores element i.
+func (a *Array) Set(i int, v Value) {
+	if a.scalar != None {
+		atomic.StoreUint64(&a.words[i], v.B)
+		return
+	}
+	a.elems[i] = v
+}
+
+// InRange reports whether i is a valid index.
+func (a *Array) InRange(i int64) bool { return i >= 0 && i < int64(a.Len()) }
+
+// Values returns a snapshot copy of the elements, for bulk operations
+// (sort builtin, tests).
+func (a *Array) Values() []Value {
+	out := make([]Value, a.Len())
+	for i := range out {
+		out[i] = a.Get(i)
+	}
+	return out
+}
+
+// Append grows the array by one element; used by the push builtin. Arrays
+// in Tetra proper are fixed-size (push is future-work library surface),
+// and Append must not race with any concurrent access.
+func (a *Array) Append(v Value) {
+	if a.scalar != None {
+		a.words = append(a.words, v.B)
+		return
+	}
+	a.elems = append(a.elems, v)
+}
+
+// Cell is a variable: one mutable slot shared between the threads that can
+// see it. Load and Store take an internal mutex so concurrent access never
+// corrupts interpreter state; Tetra programs still observe genuine races
+// (interleaved read-modify-write), which is the pedagogical point.
+//
+// For frames the checker proves are never shared across threads (functions
+// containing no parallel constructs), the interpreter uses the unlocked
+// fast path via LoadLocal/StoreLocal.
+type Cell struct {
+	mu sync.Mutex
+	v  Value
+}
+
+// NewCell returns a cell holding v.
+func NewCell(v Value) *Cell {
+	return &Cell{v: v}
+}
+
+// Load returns the cell's value, synchronized.
+func (c *Cell) Load() Value {
+	c.mu.Lock()
+	v := c.v
+	c.mu.Unlock()
+	return v
+}
+
+// Store replaces the cell's value, synchronized.
+func (c *Cell) Store(v Value) {
+	c.mu.Lock()
+	c.v = v
+	c.mu.Unlock()
+}
+
+// LoadLocal returns the value without locking. Only valid when the checker
+// has proven the enclosing frame is thread-private.
+func (c *Cell) LoadLocal() Value { return c.v }
+
+// StoreLocal stores without locking under the same condition.
+func (c *Cell) StoreLocal(v Value) { c.v = v }
+
+// RuntimeError is a Tetra runtime error (index out of bounds, division by
+// zero, ...), carrying a message and source location string.
+type RuntimeError struct {
+	Msg string
+	Pos string
+}
+
+func (e *RuntimeError) Error() string {
+	if e.Pos != "" {
+		return fmt.Sprintf("%s: runtime error: %s", e.Pos, e.Msg)
+	}
+	return "runtime error: " + e.Msg
+}

@@ -1,0 +1,551 @@
+// Package vm executes Tetra bytecode (internal/bytecode) — the
+// reproduction's stand-in for the paper's planned native-code compiler
+// (§VI). It keeps the interpreter's parallel runtime semantics exactly:
+// parallel chunks run on goroutines sharing the enclosing frame's cells,
+// parallel-for iterations get a private induction cell, background chunks
+// are not joined before the spawning statement continues (though Run joins
+// them before returning, like the interpreter), and lock instructions hit a
+// named-mutex table.
+//
+// The VM intentionally omits the step hook, tracer, and deadlock/race
+// tooling: those belong to the development path (the interpreter, which the
+// debugger drives), while the VM is the "run it fast" path. Differential
+// tests assert the two backends produce identical program behaviour.
+package vm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bytecode"
+	"repro/internal/stdlib"
+	"repro/internal/token"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// maxCallDepth mirrors the interpreter's recursion bound.
+const maxCallDepth = 10000
+
+// Options configures a VM instance.
+type Options struct {
+	// Env supplies program I/O. Required.
+	Env *stdlib.Env
+	// NoWaitBackground makes Run return without joining background threads.
+	NoWaitBackground bool
+}
+
+// VM executes one compiled program.
+type VM struct {
+	prog *bytecode.Program
+	opts Options
+
+	locks      []sync.Mutex
+	background sync.WaitGroup
+
+	stopped atomic.Bool
+	errMu   sync.Mutex
+	err     error
+}
+
+// New returns a VM for the compiled program.
+func New(prog *bytecode.Program, opts Options) *VM {
+	return &VM{prog: prog, opts: opts, locks: make([]sync.Mutex, len(prog.LockNames))}
+}
+
+// Run executes the program's main function.
+func (m *VM) Run() error {
+	if m.prog.MainIndex < 0 {
+		return fmt.Errorf("program has no main function")
+	}
+	t := &thread{vm: m}
+	_, err := t.call(m.prog.Funcs[m.prog.MainIndex], nil)
+	m.setErr(err)
+	if !m.opts.NoWaitBackground {
+		m.background.Wait()
+	}
+	return m.loadErr()
+}
+
+// Call invokes a named function with the given arguments.
+func (m *VM) Call(name string, args ...value.Value) (value.Value, error) {
+	var fn *bytecode.Func
+	for _, f := range m.prog.Funcs {
+		if f.Name == name {
+			fn = f
+			break
+		}
+	}
+	if fn == nil {
+		return value.Value{}, fmt.Errorf("no function named %s", name)
+	}
+	if len(args) != fn.NumParams {
+		return value.Value{}, fmt.Errorf("%s expects %d argument(s), got %d", name, fn.NumParams, len(args))
+	}
+	t := &thread{vm: m}
+	v, err := t.call(fn, args)
+	m.setErr(err)
+	if !m.opts.NoWaitBackground {
+		m.background.Wait()
+	}
+	if e := m.loadErr(); e != nil {
+		return value.Value{}, e
+	}
+	return v, nil
+}
+
+func (m *VM) setErr(err error) {
+	if err == nil {
+		return
+	}
+	m.errMu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	m.errMu.Unlock()
+	m.stopped.Store(true)
+}
+
+func (m *VM) loadErr() error {
+	m.errMu.Lock()
+	defer m.errMu.Unlock()
+	return m.err
+}
+
+var errStopped = fmt.Errorf("stopped")
+
+type thread struct {
+	vm    *VM
+	depth int
+}
+
+// frame is a function activation. As in the interpreter, cells are
+// individually lockable; frames of functions without parallel constructs
+// use the unlocked path.
+type frame struct {
+	fn     *bytecode.Func
+	cells  []*value.Cell
+	shared bool
+}
+
+func newFrame(fn *bytecode.Func) *frame {
+	backing := make([]value.Cell, fn.NumSlots)
+	cells := make([]*value.Cell, fn.NumSlots)
+	for i := range backing {
+		cells[i] = &backing[i]
+	}
+	return &frame{fn: fn, cells: cells, shared: fn.Shared}
+}
+
+func (f *frame) fork(slot int, v value.Value) *frame {
+	cells := make([]*value.Cell, len(f.cells))
+	copy(cells, f.cells)
+	cells[slot] = value.NewCell(v)
+	return &frame{fn: f.fn, cells: cells, shared: true}
+}
+
+func (f *frame) load(slot int32) value.Value {
+	if f.shared {
+		return f.cells[slot].Load()
+	}
+	return f.cells[slot].LoadLocal()
+}
+
+func (f *frame) store(slot int32, v value.Value) {
+	if f.shared {
+		f.cells[slot].Store(v)
+		return
+	}
+	f.cells[slot].StoreLocal(v)
+}
+
+func rtErr(pos token.Pos, format string, args ...any) error {
+	return &value.RuntimeError{Msg: fmt.Sprintf(format, args...), Pos: pos.String()}
+}
+
+func (t *thread) call(fn *bytecode.Func, args []value.Value) (value.Value, error) {
+	if t.depth >= maxCallDepth {
+		return value.Value{}, &value.RuntimeError{Msg: fmt.Sprintf("call stack exhausted (recursion deeper than %d)", maxCallDepth)}
+	}
+	t.depth++
+	defer func() { t.depth-- }()
+
+	f := newFrame(fn)
+	for i := range args {
+		f.store(int32(i), args[i])
+	}
+	returned, v, err := t.exec(&fn.Chunks[0], f)
+	if err != nil {
+		return value.Value{}, err
+	}
+	if returned {
+		return v, nil
+	}
+	if fn.Result != nil {
+		return value.Zero(fn.Result), nil
+	}
+	return value.Value{}, nil
+}
+
+// exec runs one chunk to completion. It reports whether an OpReturn
+// delivered a value (true) as opposed to falling off via OpReturnNone.
+func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
+	var stack []value.Value
+	push := func(v value.Value) { stack = append(stack, v) }
+	pop := func() value.Value {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+
+	code := ch.Code
+	for pc := 0; pc < len(code); pc++ {
+		ins := code[pc]
+		switch ins.Op {
+		case bytecode.OpNop:
+
+		case bytecode.OpConst:
+			push(f.fn.Consts[ins.A])
+		case bytecode.OpTrue:
+			push(value.NewBool(true))
+		case bytecode.OpFalse:
+			push(value.NewBool(false))
+
+		case bytecode.OpLoad:
+			push(f.load(ins.A))
+		case bytecode.OpStore:
+			f.store(ins.A, pop())
+		case bytecode.OpPop:
+			pop()
+		case bytecode.OpToReal:
+			v := pop()
+			if v.K == value.Int {
+				v = value.NewReal(float64(v.Int()))
+			}
+			push(v)
+
+		case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul, bytecode.OpDiv, bytecode.OpMod:
+			r := pop()
+			l := pop()
+			v, err := arith(ins.Op, l, r, ch.Pos[pc])
+			if err != nil {
+				return false, value.Value{}, err
+			}
+			push(v)
+
+		case bytecode.OpNeg:
+			v := pop()
+			if v.K == value.Int {
+				push(value.NewInt(-v.Int()))
+			} else {
+				push(value.NewReal(-v.Real()))
+			}
+		case bytecode.OpNot:
+			push(value.NewBool(!pop().Bool()))
+
+		case bytecode.OpEq:
+			r := pop()
+			l := pop()
+			push(value.NewBool(value.Equal(l, r)))
+		case bytecode.OpNe:
+			r := pop()
+			l := pop()
+			push(value.NewBool(!value.Equal(l, r)))
+		case bytecode.OpLt, bytecode.OpLe, bytecode.OpGt, bytecode.OpGe:
+			r := pop()
+			l := pop()
+			push(compare(ins.Op, l, r))
+
+		case bytecode.OpJump:
+			pc = int(ins.A) - 1
+		case bytecode.OpJumpIfFalse:
+			if !pop().Bool() {
+				pc = int(ins.A) - 1
+			}
+		case bytecode.OpJumpIfTrue:
+			if pop().Bool() {
+				pc = int(ins.A) - 1
+			}
+
+		case bytecode.OpCall:
+			if t.vm.stopped.Load() {
+				return false, value.Value{}, errStopped
+			}
+			n := int(ins.B)
+			args := make([]value.Value, n)
+			copy(args, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			fn := t.vm.prog.Funcs[ins.A]
+			v, err := t.call(fn, args)
+			if err != nil {
+				return false, value.Value{}, err
+			}
+			if fn.Result != nil {
+				push(v)
+			}
+
+		case bytecode.OpCallBuiltin:
+			n := int(ins.B)
+			args := make([]value.Value, n)
+			copy(args, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			b := stdlib.ByID(int(ins.A))
+			v, err := b.Eval(t.vm.opts.Env, args)
+			if err != nil {
+				return false, value.Value{}, rtErr(ch.Pos[pc], "%v", err)
+			}
+			// Push only when the call produces a value; the compiler emits
+			// OpPop after value-producing calls in statement position.
+			if builtinReturns(int(ins.A)) {
+				push(v)
+			}
+
+		case bytecode.OpReturn:
+			return true, pop(), nil
+		case bytecode.OpReturnNone:
+			return false, value.Value{}, nil
+
+		case bytecode.OpIndex:
+			idx := pop()
+			x := pop()
+			i := idx.Int()
+			if x.K == value.Str {
+				s := x.Str()
+				if i < 0 || i >= int64(len(s)) {
+					return false, value.Value{}, rtErr(ch.Pos[pc], "index %d out of range for string of length %d", i, len(s))
+				}
+				push(value.NewString(s[i : i+1]))
+				break
+			}
+			a := x.Array()
+			if !a.InRange(i) {
+				return false, value.Value{}, rtErr(ch.Pos[pc], "index %d out of range for array of length %d", i, a.Len())
+			}
+			push(a.Get(int(i)))
+
+		case bytecode.OpStoreIndex:
+			v := pop()
+			idx := pop()
+			x := pop()
+			if x.K == value.Str {
+				return false, value.Value{}, rtErr(ch.Pos[pc], "strings are immutable; cannot assign to an index of a string")
+			}
+			a := x.Array()
+			i := idx.Int()
+			if !a.InRange(i) {
+				return false, value.Value{}, rtErr(ch.Pos[pc], "index %d out of range for array of length %d", i, a.Len())
+			}
+			a.Set(int(i), v)
+
+		case bytecode.OpArray:
+			n := int(ins.A)
+			elems := make([]value.Value, n)
+			copy(elems, stack[len(stack)-n:])
+			stack = stack[:len(stack)-n]
+			push(value.NewArray(value.FromSlice(f.fn.Types[ins.B], elems)))
+
+		case bytecode.OpRange:
+			hi := pop()
+			lo := pop()
+			n := hi.Int() - lo.Int() + 1
+			if n < 0 {
+				n = 0
+			}
+			if n > 1<<28 {
+				return false, value.Value{}, rtErr(ch.Pos[pc], "range [%d .. %d] too large", lo.Int(), hi.Int())
+			}
+			elems := make([]value.Value, n)
+			for i := int64(0); i < n; i++ {
+				elems[i] = value.NewInt(lo.Int() + i)
+			}
+			push(value.NewArray(value.FromSlice(types.IntType, elems)))
+
+		case bytecode.OpForIter:
+			if t.vm.stopped.Load() {
+				return false, value.Value{}, errStopped
+			}
+			seq := f.load(ins.A)
+			idx := f.load(ins.A + 1).Int()
+			var n int64
+			if seq.K == value.Str {
+				n = int64(len(seq.Str()))
+			} else {
+				n = int64(seq.Array().Len())
+			}
+			if idx >= n {
+				pc = int(ins.B) - 1
+				break
+			}
+			var el value.Value
+			if seq.K == value.Str {
+				el = value.NewString(seq.Str()[idx : idx+1])
+			} else {
+				el = seq.Array().Get(int(idx))
+			}
+			f.store(ins.C, el)
+			f.store(ins.A+1, value.NewInt(idx+1))
+
+		case bytecode.OpParallel:
+			var wg sync.WaitGroup
+			for i := int32(0); i < ins.B; i++ {
+				sub := &f.fn.Chunks[ins.A+i]
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					nt := &thread{vm: t.vm}
+					if _, _, err := nt.exec(sub, f); err != nil && err != errStopped {
+						t.vm.setErr(err)
+					}
+				}()
+			}
+			wg.Wait()
+			if t.vm.stopped.Load() {
+				return false, value.Value{}, errStopped
+			}
+
+		case bytecode.OpBackground:
+			for i := int32(0); i < ins.B; i++ {
+				sub := &f.fn.Chunks[ins.A+i]
+				t.vm.background.Add(1)
+				go func() {
+					defer t.vm.background.Done()
+					nt := &thread{vm: t.vm}
+					if _, _, err := nt.exec(sub, f); err != nil && err != errStopped {
+						t.vm.setErr(err)
+					}
+				}()
+			}
+
+		case bytecode.OpParFor:
+			seq := pop()
+			sub := &f.fn.Chunks[ins.A]
+			var n int
+			if seq.K == value.Str {
+				n = len(seq.Str())
+			} else {
+				n = seq.Array().Len()
+			}
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				var el value.Value
+				if seq.K == value.Str {
+					el = value.NewString(seq.Str()[i : i+1])
+				} else {
+					el = seq.Array().Get(i)
+				}
+				view := f.fork(int(ins.C), el)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					nt := &thread{vm: t.vm}
+					if _, _, err := nt.exec(sub, view); err != nil && err != errStopped {
+						t.vm.setErr(err)
+					}
+				}()
+			}
+			wg.Wait()
+			if t.vm.stopped.Load() {
+				return false, value.Value{}, errStopped
+			}
+
+		case bytecode.OpLockAcquire:
+			t.vm.locks[ins.A].Lock()
+		case bytecode.OpLockRelease:
+			t.vm.locks[ins.A].Unlock()
+
+		default:
+			return false, value.Value{}, rtErr(ch.Pos[pc], "internal: unknown opcode %s", ins.Op)
+		}
+	}
+	return false, value.Value{}, nil
+}
+
+// builtinReturns reports whether builtin id produces a value. Only print,
+// push and sleep are void.
+func builtinReturns(id int) bool {
+	switch id {
+	case stdlib.Print, stdlib.Push, stdlib.Sleep:
+		return false
+	}
+	return true
+}
+
+func arith(op bytecode.Op, l, r value.Value, pos token.Pos) (value.Value, error) {
+	if l.K == value.Str {
+		return value.NewString(l.Str() + r.Str()), nil
+	}
+	if l.K == value.Int && r.K == value.Int {
+		a, b := l.Int(), r.Int()
+		switch op {
+		case bytecode.OpAdd:
+			return value.NewInt(a + b), nil
+		case bytecode.OpSub:
+			return value.NewInt(a - b), nil
+		case bytecode.OpMul:
+			return value.NewInt(a * b), nil
+		case bytecode.OpDiv:
+			if b == 0 {
+				return value.Value{}, rtErr(pos, "division by zero")
+			}
+			return value.NewInt(a / b), nil
+		default:
+			if b == 0 {
+				return value.Value{}, rtErr(pos, "modulo by zero")
+			}
+			return value.NewInt(a % b), nil
+		}
+	}
+	a, b := l.AsReal(), r.AsReal()
+	switch op {
+	case bytecode.OpAdd:
+		return value.NewReal(a + b), nil
+	case bytecode.OpSub:
+		return value.NewReal(a - b), nil
+	case bytecode.OpMul:
+		return value.NewReal(a * b), nil
+	case bytecode.OpDiv:
+		return value.NewReal(a / b), nil
+	default:
+		return value.NewReal(math.Mod(a, b)), nil
+	}
+}
+
+func compare(op bytecode.Op, l, r value.Value) value.Value {
+	var cmp int
+	if l.K == value.Str {
+		switch {
+		case l.Str() < r.Str():
+			cmp = -1
+		case l.Str() > r.Str():
+			cmp = 1
+		}
+	} else if l.K == value.Int && r.K == value.Int {
+		a, b := l.Int(), r.Int()
+		switch {
+		case a < b:
+			cmp = -1
+		case a > b:
+			cmp = 1
+		}
+	} else {
+		a, b := l.AsReal(), r.AsReal()
+		switch {
+		case a < b:
+			cmp = -1
+		case a > b:
+			cmp = 1
+		}
+	}
+	switch op {
+	case bytecode.OpLt:
+		return value.NewBool(cmp < 0)
+	case bytecode.OpLe:
+		return value.NewBool(cmp <= 0)
+	case bytecode.OpGt:
+		return value.NewBool(cmp > 0)
+	default:
+		return value.NewBool(cmp >= 0)
+	}
+}

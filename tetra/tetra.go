@@ -1,0 +1,173 @@
+// Package tetra is the public API of the Tetra educational parallel
+// programming system — a Go reproduction of "Introducing Tetra: An
+// Educational Parallel Programming System" (IPPS 2015).
+//
+// Tetra is a small, statically-typed language with Python-like syntax whose
+// parallel constructs are first-class language features:
+//
+//	parallel:            # run each child statement in its own thread, join all
+//	background:          # run each child statement in its own thread, don't join
+//	parallel for x in a: # one thread per iteration
+//	lock name:           # named critical section
+//
+// # Quick start
+//
+//	prog, err := tetra.Compile("sum.ttr", src)
+//	if err != nil { ... }
+//	var out bytes.Buffer
+//	err = prog.Run(tetra.Config{Stdout: &out})
+//
+// Programs can also be embedded function-by-function:
+//
+//	v, err := prog.Call("sum", tetra.IntArray(1, 2, 3))
+//	fmt.Println(v.Int()) // 6
+//
+// The deeper tooling — execution tracing, the per-thread stepping debugger,
+// the lockset race detector and the wait-for-graph deadlock analysis — is
+// exposed via Config.Tracer and the cmd/tetradbg tool.
+package tetra
+
+import (
+	"io"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/trace"
+	"repro/internal/types"
+	"repro/internal/value"
+)
+
+// Value is a Tetra runtime value (int, real, string, bool or array).
+type Value = value.Value
+
+// Event is one recorded execution event (thread start/end, statement step,
+// lock operation, shared-variable access, output).
+type Event = trace.Event
+
+// Collector buffers execution events in memory; pass one as Config.Tracer
+// and read Events() afterwards.
+type Collector = trace.Collector
+
+// NewCollector returns an empty event collector.
+func NewCollector() *Collector { return trace.NewCollector() }
+
+// Config controls one program execution.
+type Config struct {
+	// Stdin is the program's input for read_int and friends. Defaults to an
+	// empty stream.
+	Stdin io.Reader
+	// Stdout receives print output. Defaults to os.Stdout.
+	Stdout io.Writer
+	// Tracer, when non-nil, receives execution events (see NewCollector).
+	Tracer trace.Tracer
+	// TraceVars additionally records shared-variable reads and writes,
+	// enabling race detection. Slower; requires Tracer.
+	TraceVars bool
+	// Step, when non-nil, is called before every statement with the Tetra
+	// thread id; the debugger is built on this hook.
+	Step interp.StepHook
+	// NoWaitBackground makes Run return without joining background threads
+	// (the C++ system's process-exit semantics). By default Run waits.
+	NoWaitBackground bool
+	// NoDeadlockDetection disables the live deadlock checker so deadlocks
+	// genuinely hang.
+	NoDeadlockDetection bool
+}
+
+// Program is a compiled (parsed and type-checked) Tetra program.
+type Program struct {
+	prog *ast.Program
+}
+
+// Compile parses and type-checks Tetra source code. The file name is used
+// in error messages and positions only.
+func Compile(file, src string) (*Program, error) {
+	p, err := core.Compile(file, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: p}, nil
+}
+
+// CompileFile reads and compiles a Tetra source file.
+func CompileFile(path string) (*Program, error) {
+	p, err := core.CompileFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: p}, nil
+}
+
+// AST exposes the checked syntax tree for tooling built on the library
+// (the debugger and bytecode compiler use it).
+func (p *Program) AST() *ast.Program { return p.prog }
+
+// Run executes the program's main function.
+func (p *Program) Run(cfg Config) error {
+	return core.Run(p.prog, coreConfig(cfg))
+}
+
+// Call invokes a named function with the given argument values and returns
+// its result (the zero Value for void functions).
+func (p *Program) Call(name string, args ...Value) (Value, error) {
+	return p.CallWith(Config{}, name, args...)
+}
+
+// CallWith is Call with explicit I/O and tracing configuration.
+func (p *Program) CallWith(cfg Config, name string, args ...Value) (Value, error) {
+	return core.Call(p.prog, coreConfig(cfg), name, args...)
+}
+
+func coreConfig(cfg Config) core.Config {
+	return core.Config{
+		Stdin:               cfg.Stdin,
+		Stdout:              cfg.Stdout,
+		Tracer:              cfg.Tracer,
+		TraceVars:           cfg.TraceVars,
+		Step:                cfg.Step,
+		NoWaitBackground:    cfg.NoWaitBackground,
+		NoDeadlockDetection: cfg.NoDeadlockDetection,
+	}
+}
+
+// Value constructors for embedding.
+
+// Int returns a Tetra int value.
+func Int(v int64) Value { return value.NewInt(v) }
+
+// Real returns a Tetra real value.
+func Real(v float64) Value { return value.NewReal(v) }
+
+// String returns a Tetra string value.
+func String(s string) Value { return value.NewString(s) }
+
+// Bool returns a Tetra bool value.
+func Bool(b bool) Value { return value.NewBool(b) }
+
+// IntArray returns a Tetra [int] value.
+func IntArray(vs ...int64) Value {
+	elems := make([]value.Value, len(vs))
+	for i, v := range vs {
+		elems[i] = value.NewInt(v)
+	}
+	return value.NewArray(value.FromSlice(types.IntType, elems))
+}
+
+// RealArray returns a Tetra [real] value.
+func RealArray(vs ...float64) Value {
+	elems := make([]value.Value, len(vs))
+	for i, v := range vs {
+		elems[i] = value.NewReal(v)
+	}
+	return value.NewArray(value.FromSlice(types.RealType, elems))
+}
+
+// StringArray returns a Tetra [string] value.
+func StringArray(vs ...string) Value {
+	elems := make([]value.Value, len(vs))
+	for i, v := range vs {
+		elems[i] = value.NewString(v)
+	}
+	return value.NewArray(value.FromSlice(types.StringType, elems))
+}

@@ -1,0 +1,253 @@
+package tetra_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/tetra"
+)
+
+// runProgram compiles and runs source, returning its output.
+func runProgram(t *testing.T, src, input string) string {
+	t.Helper()
+	prog, err := tetra.Compile("test.ttr", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var out bytes.Buffer
+	if err := prog.Run(tetra.Config{Stdin: strings.NewReader(input), Stdout: &out}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out.String()
+}
+
+// The three figures of the paper, verbatim semantics.
+
+func TestFigure1Factorial(t *testing.T) {
+	src := `def fact(x int) int:
+    if x == 0:
+        return 1
+    else:
+        return x * fact(x - 1)
+
+def main():
+    print("enter n: ")
+    n = read_int()
+    print(n, "! = ", fact(n))
+`
+	got := runProgram(t, src, "10\n")
+	if got != "enter n: \n10! = 3628800\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestFigure2ParallelSum(t *testing.T) {
+	src := `def sumr(nums [int], a int, b int) int:
+    total = 0
+    i = a
+    while i <= b:
+        total += nums[i]
+        i += 1
+    return total
+
+def sum(nums [int]) int:
+    mid = len(nums) / 2
+    parallel:
+        a = sumr(nums, 0, mid - 1)
+        b = sumr(nums, mid, len(nums) - 1)
+    return a + b
+
+def main():
+    print(sum([1 .. 100]))
+`
+	if got := runProgram(t, src, ""); got != "5050\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestFigure3ParallelMax(t *testing.T) {
+	src := `def max(nums [int]) int:
+    largest = 0
+    parallel for num in nums:
+        if num > largest:
+            lock largest:
+                if num > largest:
+                    largest = num
+    return largest
+
+def main():
+    nums = [18, 32, 96, 48, 60]
+    print(max(nums))
+`
+	for i := 0; i < 10; i++ {
+		if got := runProgram(t, src, ""); got != "96\n" {
+			t.Fatalf("output = %q", got)
+		}
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	_, err := tetra.Compile("bad.ttr", "def main():\n    print(undefined_var)\n")
+	if err == nil || !strings.Contains(err.Error(), "undefined variable") {
+		t.Errorf("err = %v", err)
+	}
+	_, err = tetra.Compile("bad.ttr", "def main(:\n")
+	if err == nil || !strings.Contains(err.Error(), "syntax error") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCallWithValues(t *testing.T) {
+	prog, err := tetra.Compile("lib.ttr", `def weighted(xs [real], ws [real]) real:
+    total = 0.0
+    i = 0
+    while i < len(xs):
+        total += xs[i] * ws[i]
+        i += 1
+    return total
+
+def shout(s string) string:
+    return to_upper(s) + "!"
+
+def all_true(bs [int]) bool:
+    for b in bs:
+        if b == 0:
+            return false
+    return true
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := prog.Call("weighted", tetra.RealArray(1, 2, 3), tetra.RealArray(0.5, 0.25, 0.25))
+	if err != nil || v.Real() != 1.75 {
+		t.Errorf("weighted = %v, %v", v, err)
+	}
+	v, err = prog.Call("shout", tetra.String("go"))
+	if err != nil || v.Str() != "GO!" {
+		t.Errorf("shout = %v, %v", v, err)
+	}
+	v, err = prog.Call("all_true", tetra.IntArray(1, 1, 0))
+	if err != nil || v.Bool() {
+		t.Errorf("all_true = %v, %v", v, err)
+	}
+	if b := tetra.Bool(true); !b.Bool() {
+		t.Error("Bool constructor")
+	}
+	if sa := tetra.StringArray("a", "b"); sa.Array().Len() != 2 {
+		t.Error("StringArray constructor")
+	}
+	if r := tetra.Real(2.5); r.Real() != 2.5 {
+		t.Error("Real constructor")
+	}
+	if i := tetra.Int(7); i.Int() != 7 {
+		t.Error("Int constructor")
+	}
+}
+
+func TestTracerThroughPublicAPI(t *testing.T) {
+	prog, err := tetra.Compile("t.ttr", `def main():
+    parallel:
+        x = 1
+        y = 2
+    print(x + y)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := tetra.NewCollector()
+	var out bytes.Buffer
+	if err := prog.Run(tetra.Config{Stdout: &out, Tracer: col}); err != nil {
+		t.Fatal(err)
+	}
+	if col.Len() == 0 {
+		t.Error("no events collected")
+	}
+	starts := 0
+	for _, e := range col.Events() {
+		if e.Kind.String() == "start" {
+			starts++
+		}
+	}
+	if starts != 3 {
+		t.Errorf("thread starts = %d, want 3", starts)
+	}
+}
+
+func TestASTAccessor(t *testing.T) {
+	prog, err := tetra.Compile("t.ttr", "def main():\n    pass\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.AST() == nil || len(prog.AST().Funcs) != 1 {
+		t.Error("AST accessor broken")
+	}
+}
+
+// TestGoldenCorpus runs every program in testdata/programs on BOTH backends
+// and compares against its recorded output.
+func TestGoldenCorpus(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "programs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, entry := range entries {
+		name := entry.Name()
+		if !strings.HasSuffix(name, ".ttr") {
+			continue
+		}
+		ran++
+		base := strings.TrimSuffix(name, ".ttr")
+		t.Run(base, func(t *testing.T) {
+			srcPath := filepath.Join(dir, name)
+			want, err := os.ReadFile(filepath.Join(dir, base+".out"))
+			if err != nil {
+				t.Fatalf("missing golden output: %v", err)
+			}
+			input := ""
+			if data, err := os.ReadFile(filepath.Join(dir, base+".in")); err == nil {
+				input = string(data)
+			}
+
+			prog, err := tetra.CompileFile(srcPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			if err := prog.Run(tetra.Config{Stdin: strings.NewReader(input), Stdout: &out}); err != nil {
+				t.Fatalf("interp run: %v", err)
+			}
+			if out.String() != string(want) {
+				t.Errorf("interp output:\n%s\nwant:\n%s", out.String(), want)
+			}
+
+			// Same program on the VM backend.
+			bc, err := core.CompileBytecode(prog.AST())
+			if err != nil {
+				t.Fatalf("bytecode: %v", err)
+			}
+			var vmOut bytes.Buffer
+			m := core.NewVM(bc, core.Config{Stdin: strings.NewReader(input), Stdout: &vmOut})
+			if err := m.Run(); err != nil {
+				t.Fatalf("vm run: %v", err)
+			}
+			if vmOut.String() != string(want) {
+				t.Errorf("vm output:\n%s\nwant:\n%s", vmOut.String(), want)
+			}
+		})
+	}
+	if ran < 10 {
+		t.Errorf("corpus unexpectedly small: %d programs", ran)
+	}
+}
+
+func TestCompileFileMissing(t *testing.T) {
+	if _, err := tetra.CompileFile("/nonexistent/path.ttr"); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
