@@ -20,6 +20,15 @@
 //	-no-detect   disable live deadlock detection (hangs become real hangs)
 //	-timeline N  cap timeline rows (default 200, 0 = unlimited)
 //
+// Resource limits for running untrusted programs (zero value = unlimited):
+//
+//	-timeout D      wall-clock budget (e.g. 1s, 500ms)
+//	-max-steps N    statement/instruction budget
+//	-max-threads N  live Tetra thread budget
+//	-max-output N   stdout byte budget
+//	-max-alloc N    allocation budget (array cells + string bytes)
+//	-sandbox        apply all of the above with teaching-sized defaults
+//
 // The implementation lives in internal/cli so it can be tested as a
 // library.
 package main

@@ -4,14 +4,16 @@
 //
 // Usage:
 //
-//	tetrabench [-exp primes|tsp|ablation|cells|all] [flags]
+//	tetrabench [-exp primes|tsp|ablation|limits|all] [flags]
 //
 // Experiments:
 //
 //	primes    E1: speedup counting primes below -limit, workers ∈ -workers
 //	tsp       E2: speedup solving an exact -n city TSP, workers ∈ -workers
 //	ablation  A1: interpreter vs bytecode VM vs native Go, sequential
-//	all       everything (default)
+//	limits    G1: resource-governor overhead on the hot path (no governor
+//	          vs generous non-tripping budgets, both backends)
+//	all       everything except limits (default)
 //
 // Each speedup experiment prints the wall-clock table (meaningful on a
 // multicore host) and the simulated-multicore table (the 1-core
@@ -36,7 +38,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, or all")
+	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, limits, or all")
 	limit := flag.Int("limit", 200000, "E1: count primes below this limit")
 	fullScale := flag.Bool("paper-scale", false, "E1: use the paper's full workload (first million primes ⇒ limit 15485864); slow on the interpreter")
 	n := flag.Int("n", 10, "E2: number of TSP cities")
@@ -62,6 +64,8 @@ func run() int {
 		return tsp(*n, workers, *reps)
 	case "ablation":
 		return ablation(*limit, *n)
+	case "limits":
+		return limitsOverhead(*limit, *n, *reps)
 	case "all":
 		if rc := primes(*limit, workers, *reps); rc != 0 {
 			return rc
@@ -180,6 +184,32 @@ func ablation(limit, n int) int {
 	fmt.Println("  (the gap illustrates the paper's stance: Tetra trades raw speed for simplicity;")
 	fmt.Println("   vm is the bytecode path, compiled is the future-work Tetra→Go→binary pipeline,")
 	fmt.Println("   native-go is hand-written Go as the lower bound)")
+	return 0
+}
+
+func limitsOverhead(limit, n, reps int) int {
+	fmt.Println("G1: resource-governor overhead (no limits vs generous non-tripping budgets)")
+	fmt.Println("  workload  backend      no-governor      governed   overhead")
+	if reps < 3 {
+		reps = 3
+	}
+	for _, wl := range []struct{ name, src string }{
+		{"primes", bench.PrimesSource(limit, 1)},
+		{"tsp", bench.TSPSource(n, 1)},
+	} {
+		for _, backend := range []bench.Backend{bench.Interp, bench.VM} {
+			base, guarded, err := bench.LimitsOverhead(wl.name+".ttr", wl.src, backend, reps)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			overhead := 100 * (float64(guarded)/float64(base) - 1)
+			fmt.Printf("  %-9s %-10s %12s  %12s  %+8.1f%%\n",
+				wl.name, backend, base.Round(time.Microsecond), guarded.Round(time.Microsecond), overhead)
+		}
+	}
+	fmt.Println("  (governed = deadline + step budget armed but never tripping; the delta is the")
+	fmt.Println("   per-step fuel-counter check. If it grows past a few %, batch the counter.)")
 	return 0
 }
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/deadlock"
+	"repro/internal/guard"
 	"repro/internal/racedetect"
 	"repro/internal/trace"
 )
@@ -31,6 +32,12 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	timelineRows := fs.Int("timeline", 200, "maximum timeline rows (0 = unlimited)")
 	useVM := fs.Bool("vm", false, "execute on the bytecode VM instead of the AST interpreter")
 	disasm := fs.Bool("disasm", false, "print the compiled bytecode and exit")
+	timeout := fs.Duration("timeout", 0, "wall-clock limit for the run (e.g. 1s, 500ms; 0 = unlimited)")
+	maxSteps := fs.Int64("max-steps", 0, "total statement/instruction budget across all threads (0 = unlimited)")
+	maxThreads := fs.Int64("max-threads", 0, "maximum concurrently-live threads (0 = unlimited)")
+	maxOutput := fs.Int64("max-output", 0, "maximum bytes of program output (0 = unlimited)")
+	maxAlloc := fs.Int64("max-alloc", 0, "maximum allocation cells: array elements + string bytes (0 = unlimited)")
+	sandbox := fs.Bool("sandbox", false, "apply sandbox default limits to any budget left unset")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -67,10 +74,22 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	limits := guard.Limits{
+		Deadline:       *timeout,
+		MaxSteps:       *maxSteps,
+		MaxThreads:     *maxThreads,
+		MaxOutputBytes: *maxOutput,
+		MaxAllocCells:  *maxAlloc,
+	}
+	if *sandbox {
+		limits = limits.WithSandboxDefaults()
+	}
+
 	cfg := core.Config{
 		Stdin:               stdin,
 		Stdout:              stdout,
 		NoDeadlockDetection: *noDetect,
+		Limits:              limits,
 	}
 	var col *trace.Collector
 	if *doTrace || *doRace || *doDeadlock {

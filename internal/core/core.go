@@ -13,6 +13,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/bytecode"
 	"repro/internal/check"
+	"repro/internal/guard"
 	"repro/internal/interp"
 	"repro/internal/parser"
 	"repro/internal/stdlib"
@@ -53,6 +54,23 @@ type Config struct {
 
 	NoWaitBackground    bool
 	NoDeadlockDetection bool
+
+	// Limits bounds the run (deadline, steps, threads, output, alloc).
+	// The zero value leaves execution unbounded.
+	Limits guard.Limits
+}
+
+// newGuardedEnv builds the stdlib Env and, when any limit is set, a
+// governor shared between the Env (output/sleep) and the backend
+// (steps/threads/alloc).
+func newGuardedEnv(cfg Config) (*stdlib.Env, *guard.Governor) {
+	env := stdlib.NewEnv(cfg.Stdin, cfg.Stdout)
+	if !cfg.Limits.Enabled() {
+		return env, nil
+	}
+	g := guard.New(cfg.Limits)
+	env.SetGuard(g)
+	return env, g
 }
 
 func (c *Config) fill() {
@@ -71,13 +89,15 @@ func (emptyReader) Read([]byte) (int, error) { return 0, io.EOF }
 // NewInterp builds a configured interpreter for the program.
 func NewInterp(prog *ast.Program, cfg Config) *interp.Interp {
 	cfg.fill()
+	env, g := newGuardedEnv(cfg)
 	return interp.New(prog, interp.Options{
-		Env:                 stdlib.NewEnv(cfg.Stdin, cfg.Stdout),
+		Env:                 env,
 		Tracer:              cfg.Tracer,
 		TraceVars:           cfg.TraceVars,
 		Step:                cfg.Step,
 		NoWaitBackground:    cfg.NoWaitBackground,
 		NoDeadlockDetection: cfg.NoDeadlockDetection,
+		Guard:               g,
 	})
 }
 
@@ -115,9 +135,11 @@ func CompileBytecode(prog *ast.Program) (*bytecode.Program, error) {
 // interpreter is the debuggable path).
 func NewVM(bc *bytecode.Program, cfg Config) *vm.VM {
 	cfg.fill()
+	env, g := newGuardedEnv(cfg)
 	return vm.New(bc, vm.Options{
-		Env:              stdlib.NewEnv(cfg.Stdin, cfg.Stdout),
+		Env:              env,
 		NoWaitBackground: cfg.NoWaitBackground,
+		Guard:            g,
 	})
 }
 

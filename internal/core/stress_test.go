@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+)
+
+// backends runs one stress case on both execution backends; the governor
+// must behave identically on each.
+func backends(t *testing.T, name, src string, lim guard.Limits, wantSubstrs ...string) {
+	t.Helper()
+	prog, err := Compile("stress.ttr", src)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", name, err)
+	}
+	for _, backend := range []string{"interp", "vm"} {
+		t.Run(name+"/"+backend, func(t *testing.T) {
+			t.Parallel()
+			var out bytes.Buffer
+			cfg := Config{Stdout: &out, Limits: lim}
+			done := make(chan error, 1)
+			go func() {
+				if backend == "vm" {
+					done <- RunVM(prog, cfg)
+				} else {
+					done <- Run(prog, cfg)
+				}
+			}()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Fatal("runaway program terminated without a limit error")
+				}
+				msg := err.Error()
+				if !strings.Contains(msg, "runtime error:") {
+					t.Errorf("error %q is not a runtime error diagnostic", msg)
+				}
+				if !strings.HasPrefix(msg, "stress.ttr:") {
+					t.Errorf("error %q carries no source position", msg)
+				}
+				for _, want := range wantSubstrs {
+					if !strings.Contains(msg, want) {
+						t.Errorf("error %q missing %q", msg, want)
+					}
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("runaway program still running after 30s")
+			}
+		})
+	}
+}
+
+func TestInfiniteLoopStepBudget(t *testing.T) {
+	backends(t, "steps", `def main():
+    while true:
+        pass
+`, guard.Limits{MaxSteps: 100_000}, "exceeded step budget (100000)", "work:")
+}
+
+func TestInfiniteLoopDeadline(t *testing.T) {
+	backends(t, "deadline", `def main():
+    while true:
+        pass
+`, guard.Limits{Deadline: 100 * time.Millisecond}, "exceeded deadline (100ms)")
+}
+
+func TestBackgroundForkBomb(t *testing.T) {
+	backends(t, "forkbomb", `def spin():
+    while true:
+        pass
+
+def main():
+    while true:
+        background:
+            spin()
+`, guard.Limits{MaxThreads: 50, MaxSteps: 50_000_000},
+		"exceeded thread budget (50 live threads)")
+}
+
+func TestUnboundedStringGrowth(t *testing.T) {
+	backends(t, "strgrowth", `def main():
+    s = "x"
+    while true:
+        s = s + s
+`, guard.Limits{MaxAllocCells: 1 << 20}, "exceeded allocation budget (1048576 cells)")
+}
+
+func TestOutputFlood(t *testing.T) {
+	backends(t, "outflood", `def main():
+    while true:
+        print("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")
+`, guard.Limits{MaxOutputBytes: 4096}, "exceeded output budget (4096 bytes)")
+}
+
+// TestPartialOutputFlushed checks graceful degradation: output printed
+// before the trip is preserved.
+func TestPartialOutputFlushed(t *testing.T) {
+	prog, err := Compile("stress.ttr", `def main():
+    print("before the spin")
+    while true:
+        pass
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []string{"interp", "vm"} {
+		t.Run(backend, func(t *testing.T) {
+			var out bytes.Buffer
+			cfg := Config{Stdout: &out, Limits: guard.Limits{MaxSteps: 10_000}}
+			var runErr error
+			if backend == "vm" {
+				runErr = RunVM(prog, cfg)
+			} else {
+				runErr = Run(prog, cfg)
+			}
+			if runErr == nil {
+				t.Fatal("expected limit error")
+			}
+			if out.String() != "before the spin\n" {
+				t.Errorf("partial output = %q", out.String())
+			}
+		})
+	}
+}
+
+// TestGenerousLimitsDoNotTrip checks a legitimate workload passes untouched
+// under sandbox-scale budgets, with identical output on both backends.
+func TestGenerousLimitsDoNotTrip(t *testing.T) {
+	src := `def main():
+    total = 0
+    parallel for i in range(8):
+        lock t:
+            total += i
+    print(total)
+`
+	prog, err := Compile("stress.ttr", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := guard.Limits{}.WithSandboxDefaults()
+	for _, backend := range []string{"interp", "vm"} {
+		t.Run(backend, func(t *testing.T) {
+			var out bytes.Buffer
+			cfg := Config{Stdout: &out, Limits: lim}
+			var runErr error
+			if backend == "vm" {
+				runErr = RunVM(prog, cfg)
+			} else {
+				runErr = Run(prog, cfg)
+			}
+			if runErr != nil {
+				t.Fatalf("sandbox limits tripped a legitimate program: %v", runErr)
+			}
+			if out.String() != "28\n" {
+				t.Errorf("output = %q", out.String())
+			}
+		})
+	}
+}

@@ -107,10 +107,14 @@ func TestGeneratedSourceShape(t *testing.T) {
 `)
 	for _, want := range []string{
 		"package main",
+		"gort.InitGuard()",
 		"gort.InitLocks(1)",
-		"gort.Catch(t_main)",
+		"gort.Catch(func() { t_main(1) })",
+		"gort.Enter(gdepth)",
 		"var wg sync.WaitGroup",
+		"gort.Par(&wg, func() {",
 		"wg.Wait()",
+		"gort.Reraise()",
 		"gort.Lock(0)",
 		"gort.Unlock(0)",
 		"gort.Print(",

@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -42,7 +43,9 @@ func Raise(format string, args ...any) {
 
 // Catch runs a compiled program's main, converting Tetra runtime errors
 // (and the Go runtime's arithmetic panics) into the interpreter's error
-// format on stderr with exit status 1.
+// format on stderr with exit status 1. Errors captured from parallel or
+// background threads are re-raised after the join so a worker's runtime
+// error aborts the program exactly like a main-thread one.
 func Catch(main func()) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -60,7 +63,166 @@ func Catch(main func()) {
 	}()
 	main()
 	WaitBG()
+	Reraise()
 	Out.Flush()
+}
+
+// ---- resource governor (mirror of internal/guard for compiled programs) ----
+//
+// Limits cannot be baked in at compile time — the same binary may run
+// trusted or sandboxed — so they arrive through the environment:
+//
+//	TETRA_TIMEOUT     wall-clock budget, Go duration syntax (e.g. "1s")
+//	TETRA_MAX_STEPS   loop back-edge budget across all threads
+//	TETRA_MAX_THREADS maximum concurrently-live threads
+//	TETRA_MAX_OUTPUT  maximum bytes of program output
+//
+// Generated code calls Tick at every loop back-edge and Enter on every
+// function entry; Par/ParArg/Go charge thread spawns. A tripped budget
+// raises the same "runtime error:" diagnostics the interpreter produces.
+
+// MaxCallDepth mirrors the interpreter's recursion bound, so runaway
+// recursion in a compiled program is a Tetra runtime error instead of a
+// raw Go stack fault.
+const MaxCallDepth = 10000
+
+var (
+	gEnabled    bool
+	gMaxSteps   int64
+	gMaxThreads int64
+	gMaxOutput  int64
+	gTimeout    time.Duration
+	gDeadline   time.Time
+
+	gSteps  atomic.Int64
+	gLive   atomic.Int64
+	gOutput atomic.Int64
+)
+
+// tickMask batches the wall-clock check: time.Now runs once per 8192 ticks.
+const tickMask = 8191
+
+// InitGuard reads the TETRA_* limit variables; generated main calls it
+// before execution starts. With no variables set the governor stays
+// disabled and Tick is a single branch.
+func InitGuard() {
+	gMaxSteps = envInt64("TETRA_MAX_STEPS")
+	gMaxThreads = envInt64("TETRA_MAX_THREADS")
+	gMaxOutput = envInt64("TETRA_MAX_OUTPUT")
+	if v := os.Getenv("TETRA_TIMEOUT"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			gTimeout = d
+			gDeadline = time.Now().Add(d)
+			// Hard backstop: a thread stuck in an uninterruptible blocking
+			// operation cannot outlive deadline + grace.
+			time.AfterFunc(d+2*time.Second, func() {
+				fmt.Fprintf(os.Stderr, "runtime error: exceeded deadline (%s)\n", d)
+				Out.Flush()
+				os.Exit(1)
+			})
+		}
+	}
+	gEnabled = gMaxSteps > 0 || gMaxThreads > 0 || gMaxOutput > 0 || gTimeout > 0
+	gLive.Store(1) // the main thread counts against the thread budget
+}
+
+func envInt64(name string) int64 {
+	v := os.Getenv(name)
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Enter bounds recursion; generated functions call it on entry with their
+// call depth (1 = main).
+func Enter(gd int) {
+	if gd > MaxCallDepth {
+		Raise("call stack exhausted (recursion deeper than %d)", MaxCallDepth)
+	}
+}
+
+// Tick charges one step at a loop back-edge, raising when the step budget
+// or deadline trips.
+func Tick() {
+	if !gEnabled {
+		return
+	}
+	n := gSteps.Add(1)
+	if gMaxSteps > 0 && n > gMaxSteps {
+		Raise("exceeded step budget (%d)", gMaxSteps)
+	}
+	if gTimeout > 0 && n&tickMask == 0 && time.Now().After(gDeadline) {
+		Raise("exceeded deadline (%s)", gTimeout)
+	}
+}
+
+// spawnCheck charges one live thread against the thread budget.
+func spawnCheck() {
+	if gMaxThreads > 0 && gLive.Add(1) > gMaxThreads {
+		Raise("exceeded thread budget (%d live threads)", gMaxThreads)
+	}
+}
+
+// captured holds the first panic recovered from a spawned thread.
+var (
+	capMu    sync.Mutex
+	captured any
+)
+
+// threadExit balances spawnCheck and records a spawned thread's panic for
+// Reraise instead of letting it kill the process with a Go trace.
+func threadExit() {
+	if gMaxThreads > 0 {
+		gLive.Add(-1)
+	}
+	if r := recover(); r != nil {
+		capMu.Lock()
+		if captured == nil {
+			captured = r
+		}
+		capMu.Unlock()
+	}
+}
+
+// Par launches one parallel-block arm.
+func Par(wg *sync.WaitGroup, f func()) {
+	spawnCheck()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer threadExit()
+		f()
+	}()
+}
+
+// ParArg launches one parallel-for iteration, passing the thread its
+// private copy of the induction value.
+func ParArg[T any](wg *sync.WaitGroup, arg T, f func(T)) {
+	spawnCheck()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer threadExit()
+		f(arg)
+	}()
+}
+
+// Reraise re-panics with the first error captured from a spawned thread;
+// generated code calls it after joining a parallel block, and Catch calls
+// it after the background join.
+func Reraise() {
+	capMu.Lock()
+	r := captured
+	captured = nil
+	capMu.Unlock()
+	if r != nil {
+		panic(r)
+	}
 }
 
 // Array is a Tetra array: reference semantics, like the interpreter's.
@@ -202,9 +364,11 @@ var bg sync.WaitGroup
 
 // Go launches a background-block statement thread.
 func Go(f func()) {
+	spawnCheck()
 	bg.Add(1)
 	go func() {
 		defer bg.Done()
+		defer threadExit()
 		f()
 	}()
 }
@@ -229,13 +393,18 @@ func (o *outWriter) Flush() {
 	o.mu.Unlock()
 }
 
-// Print renders the arguments in Tetra's print format plus a newline.
+// Print renders the arguments in Tetra's print format plus a newline. The
+// write is charged against the output budget first; a write that would
+// cross the budget is suppressed so the budget is a hard cap.
 func Print(args ...any) {
 	var sb strings.Builder
 	for _, a := range args {
 		sb.WriteString(formatTop(a))
 	}
 	sb.WriteByte('\n')
+	if gMaxOutput > 0 && gOutput.Add(int64(sb.Len())) > gMaxOutput {
+		Raise("exceeded output budget (%d bytes)", gMaxOutput)
+	}
 	Out.mu.Lock()
 	Out.w.WriteString(sb.String())
 	Out.mu.Unlock()
@@ -482,10 +651,31 @@ func SortArray[T int64 | float64 | string](a *Array[T]) *Array[T] {
 	return &Array[T]{E: out}
 }
 
-// Sleep implements sleep(ms).
+// Sleep implements sleep(ms). Under a deadline the sleep runs in short
+// slices so a tripped budget interrupts it instead of outliving the run.
 func Sleep(ms int64) {
-	if ms > 0 {
-		time.Sleep(time.Duration(ms) * time.Millisecond)
+	if ms <= 0 {
+		return
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if gTimeout == 0 {
+		time.Sleep(d)
+		return
+	}
+	end := time.Now().Add(d)
+	const slice = 10 * time.Millisecond
+	for {
+		if time.Now().After(gDeadline) {
+			Raise("exceeded deadline (%s)", gTimeout)
+		}
+		remain := time.Until(end)
+		if remain <= 0 {
+			return
+		}
+		if remain > slice {
+			remain = slice
+		}
+		time.Sleep(remain)
 	}
 }
 

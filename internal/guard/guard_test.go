@@ -1,0 +1,204 @@
+package guard
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLimitsEnabled(t *testing.T) {
+	if (Limits{}).Enabled() {
+		t.Error("zero Limits reported enabled")
+	}
+	for _, l := range []Limits{
+		{Deadline: time.Second},
+		{MaxSteps: 1},
+		{MaxThreads: 1},
+		{MaxOutputBytes: 1},
+		{MaxAllocCells: 1},
+	} {
+		if !l.Enabled() {
+			t.Errorf("%+v reported disabled", l)
+		}
+	}
+}
+
+func TestWithSandboxDefaults(t *testing.T) {
+	l := Limits{MaxSteps: 42}.WithSandboxDefaults()
+	if l.MaxSteps != 42 {
+		t.Errorf("explicit MaxSteps overwritten: %d", l.MaxSteps)
+	}
+	if l.Deadline != SandboxDeadline || l.MaxThreads != SandboxMaxThreads ||
+		l.MaxOutputBytes != SandboxMaxOutput || l.MaxAllocCells != SandboxMaxAlloc {
+		t.Errorf("defaults not filled: %+v", l)
+	}
+}
+
+func TestStepBudgetTrips(t *testing.T) {
+	g := New(Limits{MaxSteps: 10})
+	tally := g.NewTally(0)
+	for i := 0; i < 10; i++ {
+		if k := g.Step(tally); k != OK {
+			t.Fatalf("step %d tripped early: %v", i, k)
+		}
+	}
+	if k := g.Step(tally); k != Steps {
+		t.Fatalf("budget not tripped: %v", k)
+	}
+	// Sticky: every later check observes the same trip.
+	if k := g.Step(tally); k != Steps {
+		t.Fatalf("trip not sticky: %v", k)
+	}
+	if g.Tripped() != Steps {
+		t.Fatalf("Tripped() = %v", g.Tripped())
+	}
+}
+
+func TestFirstTripWins(t *testing.T) {
+	g := New(Limits{MaxSteps: 1, MaxOutputBytes: 1})
+	if k := g.AddOutput(5); k != Output {
+		t.Fatalf("output trip = %v", k)
+	}
+	tally := g.NewTally(0)
+	if k := g.Step(tally); k != Output {
+		t.Fatalf("later step reported %v, want the first trip (Output)", k)
+	}
+}
+
+func TestDeadlineTrips(t *testing.T) {
+	g := New(Limits{Deadline: 20 * time.Millisecond})
+	g.Start()
+	defer g.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Tripped() == OK {
+		if time.Now().After(deadline) {
+			t.Fatal("deadline never tripped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if g.Tripped() != Deadline {
+		t.Fatalf("Tripped() = %v", g.Tripped())
+	}
+}
+
+func TestThreadBudget(t *testing.T) {
+	g := New(Limits{MaxThreads: 2})
+	if g.ThreadStart() != OK || g.ThreadStart() != OK {
+		t.Fatal("threads under budget refused")
+	}
+	if k := g.ThreadStart(); k != Threads {
+		t.Fatalf("third thread allowed: %v", k)
+	}
+}
+
+func TestThreadDoneFreesBudget(t *testing.T) {
+	g := New(Limits{MaxThreads: 1})
+	if g.ThreadStart() != OK {
+		t.Fatal("first thread refused")
+	}
+	g.ThreadDone()
+	if k := g.ThreadStart(); k != OK {
+		t.Fatalf("thread after ThreadDone refused: %v", k)
+	}
+}
+
+func TestAllocBudget(t *testing.T) {
+	g := New(Limits{MaxAllocCells: 100})
+	if g.AddAlloc(60) != OK {
+		t.Fatal("alloc under budget refused")
+	}
+	if k := g.AddAlloc(60); k != Alloc {
+		t.Fatalf("alloc over budget allowed: %v", k)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	g := New(Limits{})
+	g.Cancel()
+	if k := g.Step(nil); k != Cancelled {
+		t.Fatalf("step after Cancel = %v", k)
+	}
+}
+
+func TestOnTripRunsOnce(t *testing.T) {
+	g := New(Limits{MaxSteps: 1})
+	var mu sync.Mutex
+	calls := 0
+	g.OnTrip(func() { mu.Lock(); calls++; mu.Unlock() })
+	g.Step(nil)
+	g.Step(nil)
+	g.Step(nil)
+	g.Cancel()
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("OnTrip ran %d times", calls)
+	}
+}
+
+func TestErrAtIncludesBreakdown(t *testing.T) {
+	g := New(Limits{MaxSteps: 5})
+	t0, t1 := g.NewTally(0), g.NewTally(1)
+	for i := 0; i < 4; i++ {
+		g.Step(t0)
+	}
+	g.Step(t1)
+	g.Step(t1) // trips
+	err := g.ErrAt(Steps, "file.ttr:3:5")
+	msg := err.Error()
+	for _, want := range []string{
+		"file.ttr:3:5", "runtime error:", "exceeded step budget (5)",
+		"work:", "thread 0: 4 steps", "thread 1: 2 steps",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestBreakdownCapsRows(t *testing.T) {
+	g := New(Limits{})
+	for i := 0; i < 10; i++ {
+		g.Step(g.NewTally(i))
+	}
+	bd := g.Breakdown()
+	if !strings.Contains(bd, "+4 more") {
+		t.Errorf("breakdown %q does not cap at 6 rows", bd)
+	}
+}
+
+func TestConcurrentSteps(t *testing.T) {
+	g := New(Limits{MaxSteps: 1000})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		tally := g.NewTally(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				if g.Step(tally) != OK {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Tripped() != Steps {
+		t.Fatalf("concurrent stepping never tripped: %v", g.Tripped())
+	}
+}
+
+func TestWaitGroupGrace(t *testing.T) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	release := make(chan struct{})
+	go func() { <-release; wg.Done() }()
+	if WaitGroup(&wg, 10*time.Millisecond) {
+		t.Error("join reported complete while thread still live")
+	}
+	close(release)
+	if !WaitGroup(&wg, time.Second) {
+		t.Error("join reported incomplete after thread exit")
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/deadlock"
+	"repro/internal/guard"
 	"repro/internal/stdlib"
 	"repro/internal/token"
 	"repro/internal/trace"
@@ -74,6 +75,11 @@ type Options struct {
 	// multicore simulator (internal/simsched) used to reproduce the
 	// paper's speedup measurements on hosts without multiple cores.
 	CountWork bool
+	// Guard, when non-nil, is the resource governor every thread checks at
+	// statement boundaries: a tripped limit (deadline, step budget, thread
+	// budget, output, allocation) terminates the run with a positioned
+	// runtime error instead of hanging or exhausting the host.
+	Guard *guard.Governor
 }
 
 // ThreadWork is one thread's contribution to a work profile.
@@ -90,6 +96,7 @@ type Interp struct {
 	opts Options
 
 	locks      *lockRegistry
+	guard      *guard.Governor
 	nextThread atomic.Int64
 	background sync.WaitGroup
 
@@ -122,8 +129,13 @@ func (in *Interp) addProfile(t *thread) {
 
 // New returns an interpreter for the checked program.
 func New(prog *ast.Program, opts Options) *Interp {
-	in := &Interp{prog: prog, opts: opts}
+	in := &Interp{prog: prog, opts: opts, guard: opts.Guard}
 	in.locks = newLockRegistry(prog.LockNames, !opts.NoDeadlockDetection)
+	if in.guard != nil {
+		// A trip must wake threads parked on the lock registry's condition
+		// variable so they observe it and unwind.
+		in.guard.OnTrip(in.locks.wake)
+	}
 	return in
 }
 
@@ -134,6 +146,12 @@ func (in *Interp) Run() error {
 	if f == nil {
 		return fmt.Errorf("program has no main function")
 	}
+	if in.guard != nil {
+		in.guard.Start()
+		defer in.guard.Stop()
+		in.guard.ThreadStart() // the main thread counts against MaxThreads
+		defer in.guard.ThreadDone()
+	}
 	t := in.newThread(-1)
 	t.traceStart()
 	_, err := t.call(f, nil, f.Pos())
@@ -141,9 +159,22 @@ func (in *Interp) Run() error {
 	in.addProfile(t)
 	in.setErr(err)
 	if !in.opts.NoWaitBackground {
-		in.background.Wait()
+		in.joinBackground()
 	}
 	return in.loadErr()
+}
+
+// joinBackground waits for background threads. When the run already failed
+// or a limit tripped, the join is bounded by a grace period: every healthy
+// thread observes the stop at its next statement, but a thread stuck in a
+// blocking operation the governor cannot interrupt must not wedge the
+// whole run.
+func (in *Interp) joinBackground() {
+	if in.guard != nil && (in.loadErr() != nil || in.guard.Tripped() != guard.OK) {
+		guard.WaitGroup(&in.background, guard.DefaultGrace)
+		return
+	}
+	in.background.Wait()
 }
 
 // Call invokes a named function with the given arguments, for embedding
@@ -157,12 +188,18 @@ func (in *Interp) Call(name string, args ...value.Value) (value.Value, error) {
 	if len(args) != len(f.Params) {
 		return value.Value{}, fmt.Errorf("%s expects %d argument(s), got %d", name, len(f.Params), len(args))
 	}
+	if in.guard != nil {
+		in.guard.Start()
+		defer in.guard.Stop()
+		in.guard.ThreadStart()
+		defer in.guard.ThreadDone()
+	}
 	t := in.newThread(-1)
 	v, err := t.call(f, args, f.Pos())
 	in.addProfile(t)
 	in.setErr(err)
 	if !in.opts.NoWaitBackground {
-		in.background.Wait()
+		in.joinBackground()
 	}
 	if e := in.loadErr(); e != nil {
 		return value.Value{}, e
@@ -174,6 +211,12 @@ func (in *Interp) Call(name string, args ...value.Value) (value.Value, error) {
 // statement boundary. Used by the debugger's kill command.
 func (in *Interp) Cancel() {
 	in.setErr(fmt.Errorf("execution cancelled"))
+	if in.guard != nil {
+		in.guard.Cancel()
+	}
+	// Wake lock waiters so they re-check the stop flag instead of parking
+	// until an unrelated release happens to broadcast.
+	in.locks.wake()
 }
 
 func (in *Interp) setErr(err error) {
@@ -208,10 +251,16 @@ type thread struct {
 	parent    int
 	countWork bool
 	work      int64
+	tally     *guard.Tally // per-thread work counter for trip diagnostics
+	pending   int32        // steps accumulated since the last governor sync
 }
 
 func (in *Interp) newThread(parent int) *thread {
-	return &thread{id: int(in.nextThread.Add(1)) - 1, interp: in, parent: parent, countWork: in.opts.CountWork}
+	t := &thread{id: int(in.nextThread.Add(1)) - 1, interp: in, parent: parent, countWork: in.opts.CountWork}
+	if in.guard != nil {
+		t.tally = in.guard.NewTally(t.id)
+	}
+	return t
 }
 
 func (t *thread) traceStart() {
@@ -296,6 +345,21 @@ func rtErr(pos token.Pos, format string, args ...any) error {
 	return &value.RuntimeError{Msg: fmt.Sprintf(format, args...), Pos: pos.String()}
 }
 
+// chargeAlloc bills n cells (array elements or string bytes) against the
+// governor's allocation budget. Called on the growth paths — range
+// materialization, array literals, string concatenation — so unbounded
+// data growth trips cleanly instead of OOM-killing the host.
+func (t *thread) chargeAlloc(n int64, pos token.Pos) error {
+	g := t.interp.guard
+	if g == nil {
+		return nil
+	}
+	if k := g.AddAlloc(n); k != guard.OK {
+		return g.ErrAt(k, pos.String())
+	}
+	return nil
+}
+
 // call runs fn with the given argument values on this thread.
 func (t *thread) call(fn *ast.FuncDecl, args []value.Value, pos token.Pos) (value.Value, error) {
 	if t.depth >= maxCallDepth {
@@ -349,6 +413,18 @@ func (t *thread) exec(f *frame, s ast.Stmt) (signal, error) {
 	in := t.interp
 	if in.stopped.Load() {
 		return sigNone, errStopped
+	}
+	if g := in.guard; g != nil {
+		// Batched fuel accounting: one local increment per statement, one
+		// governor sync per guard.StepBatch statements.
+		t.pending++
+		if t.pending >= guard.StepBatch {
+			n := t.pending
+			t.pending = 0
+			if k := g.StepN(t.tally, int64(n)); k != guard.OK {
+				return sigNone, g.ErrAt(k, s.Pos().String())
+			}
+		}
 	}
 	if t.countWork {
 		t.work++
@@ -479,6 +555,11 @@ func (t *thread) execAssign(f *frame, s *ast.AssignStmt) error {
 			if err != nil {
 				return err
 			}
+			if v.K == value.Str {
+				if cerr := t.chargeAlloc(int64(len(v.Str())), s.OpPos); cerr != nil {
+					return cerr
+				}
+			}
 		}
 		v = value.Convert(v, target.Type())
 		f.store(target.Slot, v)
@@ -509,6 +590,11 @@ func (t *thread) execAssign(f *frame, s *ast.AssignStmt) error {
 			if err != nil {
 				return err
 			}
+			if v.K == value.Str {
+				if cerr := t.chargeAlloc(int64(len(v.Str())), s.OpPos); cerr != nil {
+					return cerr
+				}
+			}
 		}
 		a.Set(int(i), value.Convert(v, target.Type()))
 		return nil
@@ -532,8 +618,16 @@ func augOp(k token.Kind) token.Kind {
 }
 
 // spawn launches body() as a new Tetra thread and reports its completion on
-// the WaitGroup. Runtime errors are recorded on the interpreter.
-func (t *thread) spawn(wg *sync.WaitGroup, run func(nt *thread) error) {
+// the WaitGroup. Runtime errors are recorded on the interpreter. The spawn
+// is refused with a positioned error when the governor's thread budget is
+// exhausted (or another limit already tripped).
+func (t *thread) spawn(wg *sync.WaitGroup, pos token.Pos, run func(nt *thread) error) error {
+	g := t.interp.guard
+	if g != nil {
+		if k := g.ThreadStart(); k != guard.OK {
+			return g.ErrAt(k, pos.String())
+		}
+	}
 	nt := t.interp.newThread(t.id)
 	if wg != nil {
 		wg.Add(1)
@@ -546,6 +640,9 @@ func (t *thread) spawn(wg *sync.WaitGroup, run func(nt *thread) error) {
 		} else {
 			defer t.interp.background.Done()
 		}
+		if g != nil {
+			defer g.ThreadDone()
+		}
 		nt.traceStart()
 		err := run(nt)
 		nt.traceEnd()
@@ -554,20 +651,28 @@ func (t *thread) spawn(wg *sync.WaitGroup, run func(nt *thread) error) {
 			t.interp.setErr(err)
 		}
 	}()
+	return nil
 }
 
 // execParallel runs each child statement in its own thread and waits for
 // all of them (paper §II: fork-join over the block's statements).
 func (t *thread) execParallel(f *frame, s *ast.ParallelStmt) error {
 	var wg sync.WaitGroup
+	var spawnErr error
 	for _, child := range s.Body.Stmts {
 		child := child
-		t.spawn(&wg, func(nt *thread) error {
+		if err := t.spawn(&wg, child.Pos(), func(nt *thread) error {
 			_, err := nt.exec(f, child)
 			return err
-		})
+		}); err != nil {
+			spawnErr = err
+			break
+		}
 	}
 	wg.Wait()
+	if spawnErr != nil {
+		return spawnErr
+	}
 	if t.interp.stopped.Load() {
 		return errStopped
 	}
@@ -579,10 +684,12 @@ func (t *thread) execParallel(f *frame, s *ast.ParallelStmt) error {
 func (t *thread) execBackground(f *frame, s *ast.BackgroundStmt) error {
 	for _, child := range s.Body.Stmts {
 		child := child
-		t.spawn(nil, func(nt *thread) error {
+		if err := t.spawn(nil, child.Pos(), func(nt *thread) error {
 			_, err := nt.exec(f, child)
 			return err
-		})
+		}); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -597,15 +704,22 @@ func (t *thread) execParallelFor(f *frame, s *ast.ParallelForStmt) error {
 	}
 	iter := newIterator(seq)
 	var wg sync.WaitGroup
+	var spawnErr error
 	for i := 0; i < iter.len(); i++ {
 		view := f.fork(s.Var.Slot, iter.at(i))
-		t.spawn(&wg, func(nt *thread) error {
+		if err := t.spawn(&wg, s.Pos(), func(nt *thread) error {
 			sig, err := nt.execBlock(view, s.Body)
 			_ = sig // break/continue are rejected by the checker
 			return err
-		})
+		}); err != nil {
+			spawnErr = err
+			break
+		}
 	}
 	wg.Wait()
+	if spawnErr != nil {
+		return spawnErr
+	}
 	if t.interp.stopped.Load() {
 		return errStopped
 	}
@@ -698,6 +812,12 @@ func (r *lockRegistry) acquire(t *thread, s *ast.LockStmt) error {
 			r.graph.ClearWaiting(t.id)
 			return errStopped
 		}
+		if g := t.interp.guard; g != nil {
+			if k := g.Tripped(); k != guard.OK {
+				r.graph.ClearWaiting(t.id)
+				return g.ErrAt(k, s.Pos().String())
+			}
+		}
 		r.cond.Wait()
 	}
 	r.graph.ClearWaiting(t.id)
@@ -711,6 +831,9 @@ func (r *lockRegistry) release(idx int) {
 	r.mu.Unlock()
 	r.cond.Broadcast()
 }
+
+// wake rouses every parked waiter so it re-checks the stop/trip state.
+func (r *lockRegistry) wake() { r.cond.Broadcast() }
 
 // eval evaluates an expression to a value.
 func (t *thread) eval(f *frame, e ast.Expr) (value.Value, error) {
@@ -736,6 +859,9 @@ func (t *thread) eval(f *frame, e ast.Expr) (value.Value, error) {
 
 	case *ast.ArrayLit:
 		elemType := e.Type().Elem()
+		if err := t.chargeAlloc(int64(len(e.Elems)), e.Pos()); err != nil {
+			return value.Value{}, err
+		}
 		elems := make([]value.Value, len(e.Elems))
 		for i, el := range e.Elems {
 			v, err := t.eval(f, el)
@@ -754,6 +880,11 @@ func (t *thread) eval(f *frame, e ast.Expr) (value.Value, error) {
 		hi, err := t.eval(f, e.Hi)
 		if err != nil {
 			return value.Value{}, err
+		}
+		if n := hi.Int() - lo.Int() + 1; n > 0 {
+			if err := t.chargeAlloc(n, e.Pos()); err != nil {
+				return value.Value{}, err
+			}
 		}
 		return makeRange(lo.Int(), hi.Int(), e.Pos())
 
@@ -854,7 +985,15 @@ func (t *thread) evalBinary(f *frame, e *ast.BinaryExpr) (value.Value, error) {
 	case token.LT, token.LE, token.GT, token.GE:
 		return compare(e.Op, l, r), nil
 	default:
-		return arith(e.Op, l, r, e.OpPos)
+		v, err := arith(e.Op, l, r, e.OpPos)
+		if err == nil && v.K == value.Str {
+			// String concatenation is the one arithmetic op that grows
+			// data; charge the built bytes so `s += s` loops trip.
+			if cerr := t.chargeAlloc(int64(len(v.Str())), e.OpPos); cerr != nil {
+				return value.Value{}, cerr
+			}
+		}
+		return v, err
 	}
 }
 

@@ -1,0 +1,29 @@
+package lexer
+
+import "testing"
+
+// FuzzLex asserts the lexer never panics: every input produces either a
+// token stream or an error value.
+func FuzzLex(f *testing.F) {
+	seeds := []string{
+		"",
+		"def main():\n    pass\n",
+		"x = 1.5e10 # comment\n",
+		"\t  mixed indentation\n        deeper\n",
+		"\"unterminated",
+		"'c'",
+		"\x00\x01\x02",
+		"a\r\nb\rc\n",
+		"if elif else while for in and or not true false int real string bool",
+		"0x1F 1e999 ..... == != <= >= += -= *= /= %=",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Tokens("fuzz.ttr", src)
+		if err == nil && len(toks) == 0 {
+			t.Error("Tokens returned no tokens and no error")
+		}
+	})
+}

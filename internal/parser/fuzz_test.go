@@ -1,0 +1,34 @@
+package parser
+
+import "testing"
+
+// FuzzParse asserts that no panic escapes Parse on arbitrary input: the
+// internal bailout panic idiom must be recovered at the package boundary
+// and surface only as an error value.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"def main():\n    pass\n",
+		"def main():\n    print(1 + )\n",
+		"def f(x int) int:\n    return x\n",
+		"def main():\n    parallel:\n        x = 1\n        y = 2\n",
+		"def main():\n    while true:\n        background:\n            pass\n",
+		"def main():\n    lock m:\n        a[0] += [1 .. 3][1]\n",
+		"def main():\n\tif x:\n  y\n",
+		"def main():\n    s = \"unterminated\n",
+		"\x00\xff def",
+		"def def def : : :",
+		"def main():\n    x = 1_000_000_000_000_000_000_000\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Parse must return normally — either a program or an error —
+		// for every input. A panic fails the fuzz run on its own.
+		prog, err := Parse("fuzz.ttr", src)
+		if err == nil && prog == nil {
+			t.Error("Parse returned nil program and nil error")
+		}
+	})
+}

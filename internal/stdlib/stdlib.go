@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/types"
 	"repro/internal/value"
 )
@@ -81,6 +82,7 @@ type Env struct {
 	Out io.Writer
 
 	outMu sync.Mutex
+	guard *guard.Governor
 }
 
 // NewEnv returns an Env reading from in and writing to out.
@@ -88,18 +90,28 @@ func NewEnv(in io.Reader, out io.Writer) *Env {
 	return &Env{In: bufio.NewReader(in), Out: out}
 }
 
+// SetGuard attaches a resource governor; print output and sleeps are then
+// charged against (and interrupted by) its budgets.
+func (e *Env) SetGuard(g *guard.Governor) { e.guard = g }
+
 // Printf writes formatted output, serialized against other prints.
 func (e *Env) Printf(format string, args ...any) {
-	e.outMu.Lock()
-	defer e.outMu.Unlock()
-	fmt.Fprintf(e.Out, format, args...)
+	e.writeString(fmt.Sprintf(format, args...)) //nolint:errcheck // diagnostic output
 }
 
-// writeString writes raw output, serialized against other prints.
-func (e *Env) writeString(s string) {
+// writeString writes raw output, serialized against other prints. The write
+// is charged against the governor's output budget first; a write that would
+// cross the budget is suppressed entirely so the budget is a hard cap.
+func (e *Env) writeString(s string) error {
+	if g := e.guard; g != nil {
+		if k := g.AddOutput(len(s)); k != guard.OK {
+			return g.Err(k)
+		}
+	}
 	e.outMu.Lock()
 	defer e.outMu.Unlock()
 	io.WriteString(e.Out, s)
+	return nil
 }
 
 // CheckFunc validates argument types and returns the result type (nil for
@@ -233,7 +245,9 @@ func init() {
 				sb.WriteString(a.String())
 			}
 			sb.WriteByte('\n')
-			env.writeString(sb.String())
+			if err := env.writeString(sb.String()); err != nil {
+				return value.Value{}, err
+			}
 			return value.Value{}, nil
 		})
 
@@ -315,7 +329,7 @@ func init() {
 			}
 			return types.ArrayOf(types.IntType), nil
 		},
-		func(_ *Env, args []value.Value) (value.Value, error) {
+		func(env *Env, args []value.Value) (value.Value, error) {
 			lo, hi := int64(0), int64(0)
 			if len(args) == 1 {
 				hi = args[0].Int() // range(n) = [0, n)
@@ -328,6 +342,11 @@ func init() {
 			}
 			if n > 1<<28 {
 				return value.Value{}, fmt.Errorf("range too large (%d elements)", n)
+			}
+			if g := env.guard; g != nil {
+				if k := g.AddAlloc(n); k != guard.OK {
+					return value.Value{}, g.Err(k)
+				}
 			}
 			a := value.NewArrayOf(types.IntType, int(n))
 			for i := int64(0); i < n; i++ {
@@ -709,12 +728,37 @@ func init() {
 			}
 			return nil, nil
 		},
-		func(_ *Env, args []value.Value) (value.Value, error) {
+		func(env *Env, args []value.Value) (value.Value, error) {
 			ms := args[0].Int()
-			if ms > 0 {
-				time.Sleep(time.Duration(ms) * time.Millisecond)
+			if ms <= 0 {
+				return value.Value{}, nil
 			}
-			return value.Value{}, nil
+			d := time.Duration(ms) * time.Millisecond
+			var g *guard.Governor
+			if env != nil {
+				g = env.guard
+			}
+			if g == nil {
+				time.Sleep(d)
+				return value.Value{}, nil
+			}
+			// Sleep in short slices so a tripped limit (deadline, cancel)
+			// interrupts the sleep instead of outliving the run.
+			const slice = 10 * time.Millisecond
+			deadline := time.Now().Add(d)
+			for {
+				if k := g.Tripped(); k != guard.OK {
+					return value.Value{}, g.Err(k)
+				}
+				remain := time.Until(deadline)
+				if remain <= 0 {
+					return value.Value{}, nil
+				}
+				if remain > slice {
+					remain = slice
+				}
+				time.Sleep(remain)
+			}
 		})
 
 	register(TimeMS, "time_ms", checkNullary(types.IntType),

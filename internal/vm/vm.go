@@ -11,6 +11,11 @@
 // tooling: those belong to the development path (the interpreter, which the
 // debugger drives), while the VM is the "run it fast" path. Differential
 // tests assert the two backends produce identical program behaviour.
+//
+// Unlike the interpreter's statement-boundary checks, the VM consults the
+// resource governor per instruction, and additionally re-checks the stop
+// flag on backward jumps (loop back-edges) so Cancel can interrupt a tight
+// loop even when no governor is attached.
 package vm
 
 import (
@@ -20,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bytecode"
+	"repro/internal/guard"
 	"repro/internal/stdlib"
 	"repro/internal/token"
 	"repro/internal/types"
@@ -35,6 +41,10 @@ type Options struct {
 	Env *stdlib.Env
 	// NoWaitBackground makes Run return without joining background threads.
 	NoWaitBackground bool
+	// Guard, when non-nil, is the resource governor checked once per
+	// executed instruction (the VM analog of the interpreter's
+	// statement-boundary check).
+	Guard *guard.Governor
 }
 
 // VM executes one compiled program.
@@ -43,6 +53,8 @@ type VM struct {
 	opts Options
 
 	locks      []sync.Mutex
+	guard      *guard.Governor
+	nextThread atomic.Int64
 	background sync.WaitGroup
 
 	stopped atomic.Bool
@@ -52,7 +64,7 @@ type VM struct {
 
 // New returns a VM for the compiled program.
 func New(prog *bytecode.Program, opts Options) *VM {
-	return &VM{prog: prog, opts: opts, locks: make([]sync.Mutex, len(prog.LockNames))}
+	return &VM{prog: prog, opts: opts, guard: opts.Guard, locks: make([]sync.Mutex, len(prog.LockNames))}
 }
 
 // Run executes the program's main function.
@@ -60,13 +72,30 @@ func (m *VM) Run() error {
 	if m.prog.MainIndex < 0 {
 		return fmt.Errorf("program has no main function")
 	}
-	t := &thread{vm: m}
+	if m.guard != nil {
+		m.guard.Start()
+		defer m.guard.Stop()
+		m.guard.ThreadStart() // the main thread counts against MaxThreads
+		defer m.guard.ThreadDone()
+	}
+	t := m.newThread()
 	_, err := t.call(m.prog.Funcs[m.prog.MainIndex], nil)
 	m.setErr(err)
 	if !m.opts.NoWaitBackground {
-		m.background.Wait()
+		m.joinBackground()
 	}
 	return m.loadErr()
+}
+
+// joinBackground waits for background threads, bounded by a grace period
+// when the run already failed or a limit tripped (a thread stuck in a
+// blocking operation must not wedge the whole run).
+func (m *VM) joinBackground() {
+	if m.guard != nil && (m.loadErr() != nil || m.guard.Tripped() != guard.OK) {
+		guard.WaitGroup(&m.background, guard.DefaultGrace)
+		return
+	}
+	m.background.Wait()
 }
 
 // Call invokes a named function with the given arguments.
@@ -84,16 +113,32 @@ func (m *VM) Call(name string, args ...value.Value) (value.Value, error) {
 	if len(args) != fn.NumParams {
 		return value.Value{}, fmt.Errorf("%s expects %d argument(s), got %d", name, fn.NumParams, len(args))
 	}
-	t := &thread{vm: m}
+	if m.guard != nil {
+		m.guard.Start()
+		defer m.guard.Stop()
+		m.guard.ThreadStart()
+		defer m.guard.ThreadDone()
+	}
+	t := m.newThread()
 	v, err := t.call(fn, args)
 	m.setErr(err)
 	if !m.opts.NoWaitBackground {
-		m.background.Wait()
+		m.joinBackground()
 	}
 	if e := m.loadErr(); e != nil {
 		return value.Value{}, e
 	}
 	return v, nil
+}
+
+// Cancel requests that all running threads stop: at the next call, loop
+// back-edge or for-iteration — or at the very next instruction when a
+// governor is attached. This is the same contract as Interp.Cancel.
+func (m *VM) Cancel() {
+	m.setErr(fmt.Errorf("execution cancelled"))
+	if m.guard != nil {
+		m.guard.Cancel()
+	}
 }
 
 func (m *VM) setErr(err error) {
@@ -117,8 +162,18 @@ func (m *VM) loadErr() error {
 var errStopped = fmt.Errorf("stopped")
 
 type thread struct {
-	vm    *VM
-	depth int
+	vm      *VM
+	depth   int
+	tally   *guard.Tally // per-thread work counter for trip diagnostics
+	pending int32        // steps accumulated since the last governor sync
+}
+
+func (m *VM) newThread() *thread {
+	t := &thread{vm: m}
+	if m.guard != nil {
+		t.tally = m.guard.NewTally(int(m.nextThread.Add(1)) - 1)
+	}
+	return t
 }
 
 // frame is a function activation. As in the interpreter, cells are
@@ -165,6 +220,26 @@ func rtErr(pos token.Pos, format string, args ...any) error {
 	return &value.RuntimeError{Msg: fmt.Sprintf(format, args...), Pos: pos.String()}
 }
 
+// checkSpawn charges one live thread against the governor's budget before
+// a goroutine launch, returning a positioned error when refused.
+func (t *thread) checkSpawn(pos token.Pos) error {
+	g := t.vm.guard
+	if g == nil {
+		return nil
+	}
+	if k := g.ThreadStart(); k != guard.OK {
+		return g.ErrAt(k, pos.String())
+	}
+	return nil
+}
+
+// doneSpawn balances checkSpawn when the spawned thread exits.
+func (t *thread) doneSpawn() {
+	if g := t.vm.guard; g != nil {
+		g.ThreadDone()
+	}
+}
+
 func (t *thread) call(fn *bytecode.Func, args []value.Value) (value.Value, error) {
 	if t.depth >= maxCallDepth {
 		return value.Value{}, &value.RuntimeError{Msg: fmt.Sprintf("call stack exhausted (recursion deeper than %d)", maxCallDepth)}
@@ -200,8 +275,21 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 		return v
 	}
 
+	g := t.vm.guard
 	code := ch.Code
 	for pc := 0; pc < len(code); pc++ {
+		if g != nil {
+			// Batched fuel accounting: one local increment per instruction,
+			// one governor sync per guard.StepBatch instructions.
+			t.pending++
+			if t.pending >= guard.StepBatch {
+				n := t.pending
+				t.pending = 0
+				if k := g.StepN(t.tally, int64(n)); k != guard.OK {
+					return false, value.Value{}, g.ErrAt(k, ch.Pos[pc].String())
+				}
+			}
+		}
 		ins := code[pc]
 		switch ins.Op {
 		case bytecode.OpNop:
@@ -233,6 +321,12 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 			if err != nil {
 				return false, value.Value{}, err
 			}
+			if g != nil && v.K == value.Str {
+				// String concatenation grows data; charge the built bytes.
+				if k := g.AddAlloc(int64(len(v.Str()))); k != guard.OK {
+					return false, value.Value{}, g.ErrAt(k, ch.Pos[pc].String())
+				}
+			}
 			push(v)
 
 		case bytecode.OpNeg:
@@ -259,6 +353,11 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 			push(compare(ins.Op, l, r))
 
 		case bytecode.OpJump:
+			// A backward jump is a loop back-edge: re-check the stop flag
+			// so Cancel and cross-thread errors interrupt tight loops.
+			if int(ins.A) <= pc && t.vm.stopped.Load() {
+				return false, value.Value{}, errStopped
+			}
 			pc = int(ins.A) - 1
 		case bytecode.OpJumpIfFalse:
 			if !pop().Bool() {
@@ -341,6 +440,11 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 
 		case bytecode.OpArray:
 			n := int(ins.A)
+			if g != nil {
+				if k := g.AddAlloc(int64(n)); k != guard.OK {
+					return false, value.Value{}, g.ErrAt(k, ch.Pos[pc].String())
+				}
+			}
 			elems := make([]value.Value, n)
 			copy(elems, stack[len(stack)-n:])
 			stack = stack[:len(stack)-n]
@@ -355,6 +459,11 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 			}
 			if n > 1<<28 {
 				return false, value.Value{}, rtErr(ch.Pos[pc], "range [%d .. %d] too large", lo.Int(), hi.Int())
+			}
+			if g != nil {
+				if k := g.AddAlloc(n); k != guard.OK {
+					return false, value.Value{}, g.ErrAt(k, ch.Pos[pc].String())
+				}
 			}
 			elems := make([]value.Value, n)
 			for i := int64(0); i < n; i++ {
@@ -389,18 +498,26 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 
 		case bytecode.OpParallel:
 			var wg sync.WaitGroup
+			var spawnErr error
 			for i := int32(0); i < ins.B; i++ {
 				sub := &f.fn.Chunks[ins.A+i]
+				if spawnErr = t.checkSpawn(ch.Pos[pc]); spawnErr != nil {
+					break
+				}
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					nt := &thread{vm: t.vm}
+					defer t.doneSpawn()
+					nt := t.vm.newThread()
 					if _, _, err := nt.exec(sub, f); err != nil && err != errStopped {
 						t.vm.setErr(err)
 					}
 				}()
 			}
 			wg.Wait()
+			if spawnErr != nil {
+				return false, value.Value{}, spawnErr
+			}
 			if t.vm.stopped.Load() {
 				return false, value.Value{}, errStopped
 			}
@@ -408,10 +525,14 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 		case bytecode.OpBackground:
 			for i := int32(0); i < ins.B; i++ {
 				sub := &f.fn.Chunks[ins.A+i]
+				if err := t.checkSpawn(ch.Pos[pc]); err != nil {
+					return false, value.Value{}, err
+				}
 				t.vm.background.Add(1)
 				go func() {
 					defer t.vm.background.Done()
-					nt := &thread{vm: t.vm}
+					defer t.doneSpawn()
+					nt := t.vm.newThread()
 					if _, _, err := nt.exec(sub, f); err != nil && err != errStopped {
 						t.vm.setErr(err)
 					}
@@ -428,6 +549,7 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 				n = seq.Array().Len()
 			}
 			var wg sync.WaitGroup
+			var spawnErr error
 			for i := 0; i < n; i++ {
 				var el value.Value
 				if seq.K == value.Str {
@@ -436,16 +558,23 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 					el = seq.Array().Get(i)
 				}
 				view := f.fork(int(ins.C), el)
+				if spawnErr = t.checkSpawn(ch.Pos[pc]); spawnErr != nil {
+					break
+				}
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
-					nt := &thread{vm: t.vm}
+					defer t.doneSpawn()
+					nt := t.vm.newThread()
 					if _, _, err := nt.exec(sub, view); err != nil && err != errStopped {
 						t.vm.setErr(err)
 					}
 				}()
 			}
 			wg.Wait()
+			if spawnErr != nil {
+				return false, value.Value{}, spawnErr
+			}
 			if t.vm.stopped.Load() {
 				return false, value.Value{}, errStopped
 			}

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/core"
+	"repro/internal/guard"
 	"repro/internal/interp"
 	"repro/internal/trace"
 	"repro/internal/types"
@@ -73,7 +74,21 @@ type Config struct {
 	// NoDeadlockDetection disables the live deadlock checker so deadlocks
 	// genuinely hang.
 	NoDeadlockDetection bool
+	// Limits bounds the run's resources (wall clock, steps, threads,
+	// output, allocation) for executing untrusted programs; a tripped
+	// budget terminates the run with a positioned runtime error. The zero
+	// value leaves execution unbounded. See SandboxLimits.
+	Limits Limits
 }
+
+// Limits is the resource budget for one execution; the zero value of any
+// field means "unlimited".
+type Limits = guard.Limits
+
+// SandboxLimits returns the sandbox default budgets — what `tetra
+// -sandbox` applies — sized so legitimate teaching workloads finish while
+// runaway programs die promptly.
+func SandboxLimits() Limits { return Limits{}.WithSandboxDefaults() }
 
 // Program is a compiled (parsed and type-checked) Tetra program.
 type Program struct {
@@ -128,6 +143,7 @@ func coreConfig(cfg Config) core.Config {
 		Step:                cfg.Step,
 		NoWaitBackground:    cfg.NoWaitBackground,
 		NoDeadlockDetection: cfg.NoDeadlockDetection,
+		Limits:              cfg.Limits,
 	}
 }
 
