@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tetrabench [-exp primes|tsp|ablation|limits|all] [flags]
+//	tetrabench [-exp primes|tsp|ablation|limits|scaling|all] [flags]
 //
 // Experiments:
 //
@@ -13,7 +13,10 @@
 //	ablation  A1: interpreter vs bytecode VM vs native Go, sequential
 //	limits    G1: resource-governor overhead on the hot path (no governor
 //	          vs generous non-tripping budgets, both backends)
-//	all       everything except limits (default)
+//	scaling   S1: chunked-scheduler scaling on per-element parallel-for
+//	          workloads (parallelsum/mandelbrot/primes), workers ∈ -workers;
+//	          writes the JSON report to -out (default BENCH_scaling.json)
+//	all       everything except limits and scaling (default)
 //
 // Each speedup experiment prints the wall-clock table (meaningful on a
 // multicore host) and the simulated-multicore table (the 1-core
@@ -38,12 +41,14 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, limits, or all")
+	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, limits, scaling, or all")
 	limit := flag.Int("limit", 200000, "E1: count primes below this limit")
 	fullScale := flag.Bool("paper-scale", false, "E1: use the paper's full workload (first million primes ⇒ limit 15485864); slow on the interpreter")
 	n := flag.Int("n", 10, "E2: number of TSP cities")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
 	reps := flag.Int("reps", 1, "wall-clock repetitions per point (best-of)")
+	quick := flag.Bool("quick", false, "S1: shrink the scaling workloads for CI")
+	out := flag.String("out", "BENCH_scaling.json", "S1: path for the scaling JSON report")
 	flag.Parse()
 
 	if *fullScale {
@@ -66,6 +71,8 @@ func run() int {
 		return ablation(*limit, *n)
 	case "limits":
 		return limitsOverhead(*limit, *n, *reps)
+	case "scaling":
+		return scaling(*quick, workers, *reps, *out)
 	case "all":
 		if rc := primes(*limit, workers, *reps); rc != 0 {
 			return rc
@@ -184,6 +191,23 @@ func ablation(limit, n int) int {
 	fmt.Println("  (the gap illustrates the paper's stance: Tetra trades raw speed for simplicity;")
 	fmt.Println("   vm is the bytecode path, compiled is the future-work Tetra→Go→binary pipeline,")
 	fmt.Println("   native-go is hand-written Go as the lower bound)")
+	return 0
+}
+
+func scaling(quick bool, workers []int, reps int, outPath string) int {
+	fmt.Println("S1: chunked-scheduler scaling (per-element parallel-for, bounded worker pool)")
+	rep, err := bench.Scaling(quick, workers, reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Print(bench.FormatScalingTable(rep))
+	if err := bench.WriteScalingJSON(outPath, rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("\nwrote %s (speedup column is the simulated-multicore model of DESIGN.md §3.5;\n", outPath)
+	fmt.Println("wall-clock speedup requires a multicore host)")
 	return 0
 }
 

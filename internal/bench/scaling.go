@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/simsched"
+)
+
+// The scaling experiment (tetrabench -exp scaling) seeds the repo's perf
+// trajectory for the chunked work-sharing scheduler: three plain
+// `parallel for i in range(n)` workloads — one goroutine pool, no
+// source-level chunking — measured at 1/2/4/8 workers via Config.Sched.
+//
+// Two numbers are recorded per point. Wall-clock time is the honest
+// on-host measurement; on a single-core host it cannot show speedup (the
+// paper's 8-core testbed could). The headline speedup therefore comes
+// from the same virtual-multicore substitution the E1/E2 experiments use
+// (DESIGN.md §3.5): the interpreter counts each iteration-thread's work,
+// and simsched.ChunkedTime replays the chunk-claiming schedule on W
+// virtual cores, charging spawn overhead per worker.
+
+// ScalingRow is one (workload, workers) measurement.
+type ScalingRow struct {
+	Workload    string  `json:"workload"`
+	Workers     int     `json:"workers"`
+	WallNS      int64   `json:"wall_ns"`
+	WallSpeedup float64 `json:"wall_speedup"`
+	SimUnits    int64   `json:"sim_time_units"`
+	Speedup     float64 `json:"speedup"` // simulated multicore, the headline
+	Efficiency  float64 `json:"efficiency"`
+	Output      string  `json:"output"`
+}
+
+// ScalingReport is the BENCH_scaling.json document.
+type ScalingReport struct {
+	Experiment   string       `json:"experiment"`
+	HostCores    int          `json:"host_cores"`
+	Quick        bool         `json:"quick"`
+	SpeedupModel string       `json:"speedup_model"`
+	Rows         []ScalingRow `json:"rows"`
+}
+
+// ParallelSumSource is the scaling experiment's embarrassingly parallel
+// baseline: sum f(i) over range(n), one parallel-for iteration per
+// element, results meeting in disjoint slots.
+func ParallelSumSource(n, inner int) string {
+	return fmt.Sprintf(`# sum of a per-element function, one iteration per element
+def f(x int, inner int) int:
+    total = 0
+    j = 0
+    while j < inner:
+        total += (x * j) %% 97
+        j += 1
+    return total
+
+def main():
+    n = %d
+    out = range(n)
+    parallel for i in range(n):
+        out[i] = f(i, %d)
+    total = 0
+    for v in out:
+        total += v
+    print(total)
+`, n, inner)
+}
+
+// MandelbrotSource renders an escape-time fractal over a w×h grid, one
+// parallel-for iteration per pixel. Iteration cost varies wildly across
+// the grid (interior pixels run to the cap), exercising the scheduler's
+// load balancing.
+func MandelbrotSource(w, h, maxIter int) string {
+	return fmt.Sprintf(`# escape-time fractal, one iteration per pixel
+def escape(px int, py int, w int, h int, cap int) int:
+    cr = (to_real(px) / to_real(w)) * 3.0 - 2.0
+    ci = (to_real(py) / to_real(h)) * 2.0 - 1.0
+    zr = 0.0
+    zi = 0.0
+    n = 0
+    while n < cap:
+        t = zr * zr - zi * zi + cr
+        zi = 2.0 * zr * zi + ci
+        zr = t
+        if zr * zr + zi * zi > 4.0:
+            return n
+        n += 1
+    return cap
+
+def main():
+    w = %d
+    h = %d
+    cap = %d
+    out = range(w * h)
+    parallel for p in range(w * h):
+        out[p] = escape(p %% w, p / w, w, h, cap)
+    sum = 0
+    for v in out:
+        sum += v
+    print(sum)
+`, w, h, maxIter)
+}
+
+// ScalingPrimesSource tests primality of every candidate independently —
+// one parallel-for iteration per number, unlike E1's source-level range
+// split — and counts the primes.
+func ScalingPrimesSource(limit int) string {
+	return fmt.Sprintf(`# per-element primality, one iteration per candidate
+def is_prime(n int) int:
+    if n < 2:
+        return 0
+    if n %% 2 == 0:
+        if n == 2:
+            return 1
+        return 0
+    i = 3
+    while i * i <= n:
+        if n %% i == 0:
+            return 0
+        i += 2
+    return 1
+
+def main():
+    limit = %d
+    out = range(limit)
+    parallel for n in range(limit):
+        out[n] = is_prime(n)
+    count = 0
+    for v in out:
+        count += v
+    print(count)
+`, limit)
+}
+
+// scalingWorkloads returns the three workload sources, sized for a full
+// or quick (CI) run.
+func scalingWorkloads(quick bool) []struct{ name, src string } {
+	if quick {
+		return []struct{ name, src string }{
+			{"parallelsum", ParallelSumSource(300, 40)},
+			{"mandelbrot", MandelbrotSource(24, 16, 40)},
+			{"primes", ScalingPrimesSource(1500)},
+		}
+	}
+	return []struct{ name, src string }{
+		{"parallelsum", ParallelSumSource(2000, 120)},
+		{"mandelbrot", MandelbrotSource(64, 48, 60)},
+		{"primes", ScalingPrimesSource(8000)},
+	}
+}
+
+// Scaling runs the scaling experiment on the interpreter at each worker
+// count: wall-clock (best of reps) plus the simulated-multicore replay of
+// the chunked schedule.
+func Scaling(quick bool, workerCounts []int, reps int) (*ScalingReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	rep := &ScalingReport{
+		Experiment:   "scaling",
+		HostCores:    runtime.GOMAXPROCS(0),
+		Quick:        quick,
+		SpeedupModel: "simulated multicore (per-iteration work counts replayed through the chunked scheduler; wall_ns is the on-host measurement)",
+	}
+	for _, wl := range scalingWorkloads(quick) {
+		prog, err := core.Compile(wl.name+".ttr", wl.src)
+		if err != nil {
+			return nil, err
+		}
+
+		// One profiled run per workload: per-iteration work is a property
+		// of the program, not of the worker count.
+		var profOut bytes.Buffer
+		tw, err := core.RunProfiled(prog, core.Config{Stdout: &profOut})
+		if err != nil {
+			return nil, err
+		}
+		profile := simsched.Profile{SpawnCost: DefaultSpawnCost}
+		for _, t := range tw {
+			if t.ID == 0 {
+				profile.Serial += t.Work
+			} else {
+				profile.Workers = append(profile.Workers, t.Work)
+			}
+		}
+		n := len(profile.Workers)
+
+		var wall1 time.Duration
+		var sim1 int64
+		for _, w := range workerCounts {
+			cfg := core.Config{Sched: sched.Config{Workers: w}}
+			best := time.Duration(1<<63 - 1)
+			var output string
+			for r := 0; r < reps; r++ {
+				var out bytes.Buffer
+				cfg.Stdout = &out
+				start := time.Now()
+				if err := core.Run(prog, cfg); err != nil {
+					return nil, err
+				}
+				if d := time.Since(start); d < best {
+					best = d
+				}
+				output = out.String()
+			}
+			grain := (sched.Config{Workers: w}).GrainFor(n, w)
+			sim := profile.ChunkedTime(w, grain)
+			if w == workerCounts[0] {
+				wall1, sim1 = best, sim
+			}
+			row := ScalingRow{
+				Workload: wl.name,
+				Workers:  w,
+				WallNS:   best.Nanoseconds(),
+				SimUnits: sim,
+				Output:   trimOutput(output),
+			}
+			if best > 0 {
+				row.WallSpeedup = float64(wall1) / float64(best)
+			}
+			if sim > 0 {
+				row.Speedup = float64(sim1) / float64(sim)
+				row.Efficiency = row.Speedup / float64(w)
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+func trimOutput(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// WriteScalingJSON writes the report to path, pretty-printed for diffable
+// commits of BENCH_scaling.json.
+func WriteScalingJSON(path string, rep *ScalingReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatScalingTable renders the report for the terminal.
+func FormatScalingTable(rep *ScalingReport) string {
+	var sb bytes.Buffer
+	last := ""
+	for _, r := range rep.Rows {
+		if r.Workload != last {
+			if last != "" {
+				sb.WriteString("\n")
+			}
+			fmt.Fprintf(&sb, "%s\n", r.Workload)
+			sb.WriteString("  workers       wall  wall-spd   sim-spd  efficiency  output\n")
+			last = r.Workload
+		}
+		fmt.Fprintf(&sb, "  %7d  %9s  %7.2fx  %7.2fx  %9.1f%%  %s\n",
+			r.Workers, time.Duration(r.WallNS).Round(time.Microsecond),
+			r.WallSpeedup, r.Speedup, 100*r.Efficiency, r.Output)
+	}
+	return sb.String()
+}

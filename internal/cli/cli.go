@@ -15,6 +15,7 @@ import (
 	"repro/internal/deadlock"
 	"repro/internal/guard"
 	"repro/internal/racedetect"
+	"repro/internal/sched"
 	"repro/internal/trace"
 )
 
@@ -38,6 +39,8 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	maxOutput := fs.Int64("max-output", 0, "maximum bytes of program output (0 = unlimited)")
 	maxAlloc := fs.Int64("max-alloc", 0, "maximum allocation cells: array elements + string bytes (0 = unlimited)")
 	sandbox := fs.Bool("sandbox", false, "apply sandbox default limits to any budget left unset")
+	workers := fs.Int("workers", 0, "worker goroutines per parallel-for loop (0 = GOMAXPROCS)")
+	grain := fs.Int("grain", 0, "parallel-for chunk size in iterations (0 = max(1, n/(workers*8)))")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -90,6 +93,7 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		Stdout:              stdout,
 		NoDeadlockDetection: *noDetect,
 		Limits:              limits,
+		Sched:               sched.Config{Workers: *workers, Grain: *grain},
 	}
 	var col *trace.Collector
 	if *doTrace || *doRace || *doDeadlock {

@@ -123,6 +123,44 @@ func TestRaceReport(t *testing.T) {
 	}
 }
 
+// TestSchedFlagsDeterministicOutput checks that worker/grain settings and
+// the race tracer never change what a slot-disjoint parallel loop prints:
+// every variant is byte-for-byte the plain run.
+func TestSchedFlagsDeterministicOutput(t *testing.T) {
+	path := write(t, `def main():
+    out = ["", "", "", "", ""]
+    s = "héllo"
+    parallel for i in range(5):
+        out[i] = s[i]
+    print(join(out, ""))
+`)
+	_, want, _ := run(t, []string{path}, "")
+	if want != "héllo\n" {
+		t.Fatalf("baseline out = %q", want)
+	}
+	variants := [][]string{
+		{"-workers", "1", path},
+		{"-workers", "2", "-grain", "2", path},
+		{"-workers", "8", path},
+		{"-vm", "-workers", "3", path},
+	}
+	for _, args := range variants {
+		code, out, errOut := run(t, args, "")
+		if code != 0 || out != want {
+			t.Errorf("%v: code=%d out=%q err=%q", args, code, out, errOut)
+		}
+	}
+	// Under -race the program output precedes the report, unchanged.
+	code, out, _ := run(t, []string{"-race", "-workers", "4", path}, "")
+	progOut, _, found := strings.Cut(out, "\n--- race report ---")
+	if code != 0 || !found || progOut != want {
+		t.Errorf("-race: code=%d out=%q", code, out)
+	}
+	if !strings.Contains(out, "no races detected") {
+		t.Errorf("disjoint-slot loop reported a race:\n%s", out)
+	}
+}
+
 func TestDeadlockReportAndExit(t *testing.T) {
 	path := write(t, `def ab():
     lock a:

@@ -16,6 +16,7 @@ import (
 	"repro/internal/guard"
 	"repro/internal/interp"
 	"repro/internal/parser"
+	"repro/internal/sched"
 	"repro/internal/stdlib"
 	"repro/internal/trace"
 	"repro/internal/value"
@@ -58,6 +59,11 @@ type Config struct {
 	// Limits bounds the run (deadline, steps, threads, output, alloc).
 	// The zero value leaves execution unbounded.
 	Limits guard.Limits
+
+	// Sched controls the parallel-for worker pool and chunk size on both
+	// backends. The zero value uses GOMAXPROCS workers and the default
+	// grain heuristic.
+	Sched sched.Config
 }
 
 // newGuardedEnv builds the stdlib Env and, when any limit is set, a
@@ -98,6 +104,7 @@ func NewInterp(prog *ast.Program, cfg Config) *interp.Interp {
 		NoWaitBackground:    cfg.NoWaitBackground,
 		NoDeadlockDetection: cfg.NoDeadlockDetection,
 		Guard:               g,
+		Sched:               cfg.Sched,
 	})
 }
 
@@ -120,6 +127,7 @@ func RunProfiled(prog *ast.Program, cfg Config) ([]interp.ThreadWork, error) {
 		Env:              stdlib.NewEnv(cfg.Stdin, cfg.Stdout),
 		NoWaitBackground: cfg.NoWaitBackground,
 		CountWork:        true,
+		Sched:            cfg.Sched,
 	})
 	err := in.Run()
 	return in.WorkProfile(), err
@@ -140,6 +148,7 @@ func NewVM(bc *bytecode.Program, cfg Config) *vm.VM {
 		Env:              env,
 		NoWaitBackground: cfg.NoWaitBackground,
 		Guard:            g,
+		Sched:            cfg.Sched,
 	})
 }
 

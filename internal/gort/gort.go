@@ -29,6 +29,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unicode/utf8"
+
+	"repro/internal/sched"
 )
 
 // Err is the panic payload for Tetra runtime errors.
@@ -212,6 +215,64 @@ func ParArg[T any](wg *sync.WaitGroup, arg T, f func(T)) {
 	}()
 }
 
+// schedConfig is the parallel-for scheduling configuration. Like the
+// governor limits, it cannot be baked in at compile time, so it arrives
+// through the environment: TETRA_WORKERS caps the worker-goroutine count
+// per loop (default GOMAXPROCS) and TETRA_GRAIN overrides the chunk size
+// (default max(1, n/(workers*8))).
+var schedConfig = sched.Config{
+	Workers: int(envInt64("TETRA_WORKERS")),
+	Grain:   int(envInt64("TETRA_GRAIN")),
+}
+
+// trySpawn charges one live thread against the thread budget without
+// panicking, so ParFor can join already-running workers before raising.
+func trySpawn() bool {
+	if gMaxThreads > 0 && gLive.Add(1) > gMaxThreads {
+		gLive.Add(-1)
+		return false
+	}
+	return true
+}
+
+// ParFor runs body over every element of elems on a bounded pool of
+// min(workers, len(elems)) goroutines that claim contiguous chunks via an
+// atomic cursor — the compiled runtime's side of internal/sched. Each
+// iteration still receives its private induction value (the closure
+// parameter) and charges one Tick; the thread budget is charged per
+// worker. Panics from iteration bodies are captured per worker; the
+// generated code calls Reraise after the join.
+func ParFor[T any](elems []T, body func(T)) {
+	workers, loop := schedConfig.Loop(len(elems))
+	var wg sync.WaitGroup
+	budgetHit := false
+	for w := 0; w < workers; w++ {
+		if !trySpawn() {
+			budgetHit = true
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer threadExit()
+			for {
+				lo, hi, ok := loop.Next()
+				if !ok {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					Tick()
+					body(elems[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if budgetHit {
+		Raise("exceeded thread budget (%d live threads)", gMaxThreads)
+	}
+}
+
 // Reraise re-panics with the first error captured from a spawned thread;
 // generated code calls it after joining a parallel block, and Catch calls
 // it after the background join.
@@ -237,20 +298,29 @@ func MakeArray[T any](n int64) *Array[T] { return &Array[T]{E: make([]T, n)} }
 // Len returns the element count as a Tetra int.
 func (a *Array[T]) Len() int64 { return int64(len(a.E)) }
 
-// Get returns element i, raising a Tetra bounds error when out of range.
+// Get returns element i with bounds checking. Negative indices count from
+// the end, Python-style (-1 is the last element).
 func (a *Array[T]) Get(i int64) T {
-	if i < 0 || i >= int64(len(a.E)) {
+	j := i
+	if j < 0 {
+		j += int64(len(a.E))
+	}
+	if j < 0 || j >= int64(len(a.E)) {
 		Raise("index %d out of range for array of length %d", i, len(a.E))
 	}
-	return a.E[i]
+	return a.E[j]
 }
 
-// Set stores element i with bounds checking.
+// Set stores element i with bounds checking and negative-index support.
 func (a *Array[T]) Set(i int64, v T) {
-	if i < 0 || i >= int64(len(a.E)) {
+	j := i
+	if j < 0 {
+		j += int64(len(a.E))
+	}
+	if j < 0 || j >= int64(len(a.E)) {
 		Raise("index %d out of range for array of length %d", i, len(a.E))
 	}
-	a.E[i] = v
+	a.E[j] = v
 }
 
 // Push appends an element (the future-work growable-array operation).
@@ -301,20 +371,36 @@ func RangeN(args ...int64) *Array[int64] {
 	return Range(lo, hi-1)
 }
 
-// StrIndex returns the 1-character string s[i] with bounds checking.
+// StrLen returns the number of Unicode characters in s — Tetra's len on
+// strings counts code points, not bytes.
+func StrLen(s string) int64 { return int64(utf8.RuneCountInString(s)) }
+
+// StrIndex returns the 1-character string s[i] with bounds checking. The
+// index counts Unicode characters; negative indices count from the end.
 func StrIndex(s string, i int64) string {
-	if i < 0 || i >= int64(len(s)) {
-		Raise("index %d out of range for string of length %d", i, len(s))
+	j := i
+	if j < 0 {
+		j += StrLen(s)
 	}
-	return s[i : i+1]
+	if j >= 0 {
+		var k int64
+		for idx, r := range s {
+			if k == j {
+				return s[idx : idx+utf8.RuneLen(r)]
+			}
+			k++
+		}
+	}
+	Raise("index %d out of range for string of length %d", i, StrLen(s))
+	return ""
 }
 
-// StrIter returns the characters of s as 1-character strings, for for-in
-// loops over strings.
+// StrIter returns the Unicode characters of s as 1-character strings, for
+// for-in loops over strings.
 func StrIter(s string) []string {
-	out := make([]string, len(s))
-	for i := range out {
-		out[i] = s[i : i+1]
+	out := make([]string, 0, utf8.RuneCountInString(s))
+	for _, r := range s {
+		out = append(out, string(r))
 	}
 	return out
 }

@@ -3,7 +3,10 @@ package gort
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+
+	"repro/internal/sched"
 )
 
 // catchErr runs f and returns the Tetra runtime error it raised, or nil.
@@ -45,8 +48,16 @@ func TestArrayBounds(t *testing.T) {
 	if err := catchErr(func() { a.Get(5) }); err == nil || !strings.Contains(err.Msg, "out of range") {
 		t.Errorf("Get OOB err = %v", err)
 	}
-	if err := catchErr(func() { a.Set(-1, 0) }); err == nil {
-		t.Error("Set OOB not raised")
+	// -1 counts from the end, Python-style; below -len still raises.
+	if got := a.Get(-1); got != 1 {
+		t.Errorf("Get(-1) = %d, want 1", got)
+	}
+	a.Set(-1, 7)
+	if got := a.Get(0); got != 7 {
+		t.Errorf("after Set(-1, 7): Get(0) = %d, want 7", got)
+	}
+	if err := catchErr(func() { a.Set(-2, 0) }); err == nil || !strings.Contains(err.Msg, "index -2 out of range") {
+		t.Errorf("Set below -len err = %v", err)
 	}
 }
 
@@ -221,6 +232,73 @@ func TestLocksAndBackground(t *testing.T) {
 	defer mu.Unlock()
 	if !done {
 		t.Error("background thread not joined")
+	}
+}
+
+func TestParFor(t *testing.T) {
+	defer func(old sched.Config) { schedConfig = old }(schedConfig)
+	for _, cfg := range []sched.Config{{}, {Workers: 1}, {Workers: 2, Grain: 3}, {Workers: 16, Grain: 1}} {
+		for _, n := range []int{0, 1, 2, 4, 5, 33} {
+			schedConfig = cfg
+			elems := make([]int, n)
+			for i := range elems {
+				elems[i] = i
+			}
+			counts := make([]atomic.Int64, n)
+			ParFor(elems, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("cfg=%+v n=%d: element %d ran %d times", cfg, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestParForPanicCapture(t *testing.T) {
+	defer func(old sched.Config) { schedConfig = old }(schedConfig)
+	schedConfig = sched.Config{Workers: 2, Grain: 1}
+	err := catchErr(func() {
+		ParFor([]int64{1, 2, 3, 4}, func(i int64) {
+			if i == 3 {
+				Raise("boom at %d", i)
+			}
+		})
+		Reraise()
+	})
+	if err == nil || !strings.Contains(err.Msg, "boom at 3") {
+		t.Errorf("captured err = %v", err)
+	}
+}
+
+func TestParForThreadBudget(t *testing.T) {
+	defer func(oldMax int64, oldCfg sched.Config) {
+		gMaxThreads = oldMax
+		gLive.Store(1)
+		schedConfig = oldCfg
+	}(gMaxThreads, schedConfig)
+	gLive.Store(1)
+	schedConfig = sched.Config{Workers: 2}
+
+	// 2 workers + main fit a 3-thread budget regardless of element count.
+	gMaxThreads = 3
+	var ran atomic.Int64
+	if err := catchErr(func() {
+		ParFor(make([]int64, 1000), func(int64) { ran.Add(1) })
+	}); err != nil {
+		t.Fatalf("2 workers under 3-thread budget raised: %v", err)
+	}
+	if ran.Load() != 1000 {
+		t.Errorf("ran %d of 1000 iterations", ran.Load())
+	}
+
+	// An 8-worker pool cannot: budget raises after joining started workers.
+	schedConfig = sched.Config{Workers: 8}
+	gLive.Store(1)
+	if err := catchErr(func() {
+		ParFor(make([]int64, 1000), func(int64) {})
+	}); err == nil || !strings.Contains(err.Msg, "thread budget") {
+		t.Errorf("8 workers under 3-thread budget: err = %v", err)
 	}
 }
 

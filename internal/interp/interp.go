@@ -25,6 +25,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/deadlock"
 	"repro/internal/guard"
+	"repro/internal/sched"
 	"repro/internal/stdlib"
 	"repro/internal/token"
 	"repro/internal/trace"
@@ -80,6 +81,10 @@ type Options struct {
 	// budget, output, allocation) terminates the run with a positioned
 	// runtime error instead of hanging or exhausting the host.
 	Guard *guard.Governor
+	// Sched controls how parallel-for loops are chunked across worker
+	// goroutines. The zero value uses GOMAXPROCS workers and the default
+	// grain heuristic.
+	Sched sched.Config
 }
 
 // ThreadWork is one thread's contribution to a work profile.
@@ -582,9 +587,11 @@ func (t *thread) execAssign(f *frame, s *ast.AssignStmt) error {
 		}
 		a := arrV.Array()
 		i := idxV.Int()
-		if !a.InRange(i) {
+		j := value.NormIndex(i, int64(a.Len()))
+		if !a.InRange(j) {
 			return rtErr(target.Pos(), "index %d out of range for array of length %d", i, a.Len())
 		}
+		i = j
 		if s.Op != token.ASSIGN {
 			v, err = arith(augOp(s.Op), a.Get(int(i)), v, s.OpPos)
 			if err != nil {
@@ -694,27 +701,62 @@ func (t *thread) execBackground(f *frame, s *ast.BackgroundStmt) error {
 	return nil
 }
 
-// execParallelFor evaluates the sequence once, then runs one thread per
-// element. Each thread shares the enclosing frame but owns a private cell
-// for the induction variable.
+// execParallelFor evaluates the sequence once, then runs the iterations on
+// a bounded pool of min(workers, n) goroutines claiming contiguous chunks
+// from an atomic cursor (internal/sched). Each *iteration* is still a
+// full Tetra thread — its own id, trace events, work tally and private
+// induction cell — so the observable semantics match the paper's
+// one-thread-per-element model; only the goroutine topology is coarser.
+// The governor's thread budget is charged per worker goroutine, while
+// step/alloc budgets accrue per iteration as before.
 func (t *thread) execParallelFor(f *frame, s *ast.ParallelForStmt) error {
 	seq, err := t.eval(f, s.Seq)
 	if err != nil {
 		return err
 	}
 	iter := newIterator(seq)
+	in := t.interp
+	g := in.guard
+	workers, loop := in.opts.Sched.Loop(iter.len())
 	var wg sync.WaitGroup
 	var spawnErr error
-	for i := 0; i < iter.len(); i++ {
-		view := f.fork(s.Var.Slot, iter.at(i))
-		if err := t.spawn(&wg, s.Pos(), func(nt *thread) error {
-			sig, err := nt.execBlock(view, s.Body)
-			_ = sig // break/continue are rejected by the checker
-			return err
-		}); err != nil {
-			spawnErr = err
-			break
+	for w := 0; w < workers; w++ {
+		if g != nil {
+			if k := g.ThreadStart(); k != guard.OK {
+				spawnErr = g.ErrAt(k, s.Pos().String())
+				break
+			}
 		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if g != nil {
+				defer g.ThreadDone()
+			}
+			for {
+				lo, hi, ok := loop.Next()
+				if !ok {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					if in.stopped.Load() {
+						return
+					}
+					nt := in.newThread(t.id)
+					view := f.fork(s.Var.Slot, iter.at(i))
+					nt.traceStart()
+					_, err := nt.execBlock(view, s.Body)
+					nt.traceEnd()
+					in.addProfile(nt)
+					if err != nil {
+						if err != errStopped {
+							in.setErr(err)
+						}
+						return
+					}
+				}
+			}
+		}()
 	}
 	wg.Wait()
 	if spawnErr != nil {
@@ -741,32 +783,23 @@ func (t *thread) execLock(f *frame, s *ast.LockStmt) (signal, error) {
 	return sig, err
 }
 
-// iterator walks an array or a string (by one-character strings).
+// iterator walks an array or a string. Strings are materialized as their
+// Unicode characters (1-character strings, one per code point) once up
+// front, so iteration never splits a multi-byte character.
 type iterator struct {
 	arr *value.Array
-	str string
 }
 
 func newIterator(seq value.Value) iterator {
 	if seq.K == value.Str {
-		return iterator{str: seq.Str()}
+		return iterator{arr: value.Runes(seq.Str())}
 	}
 	return iterator{arr: seq.Array()}
 }
 
-func (it iterator) len() int {
-	if it.arr != nil {
-		return it.arr.Len()
-	}
-	return len(it.str)
-}
+func (it iterator) len() int { return it.arr.Len() }
 
-func (it iterator) at(i int) value.Value {
-	if it.arr != nil {
-		return it.arr.Get(i)
-	}
-	return value.NewString(it.str[i : i+1])
-}
+func (it iterator) at(i int) value.Value { return it.arr.Get(i) }
 
 // lockRegistry implements Tetra's named lock blocks with live deadlock
 // detection. All lock state transitions happen under one registry mutex;
@@ -916,16 +949,18 @@ func (t *thread) eval(f *frame, e ast.Expr) (value.Value, error) {
 		i := idx.Int()
 		if x.K == value.Str {
 			s := x.Str()
-			if i < 0 || i >= int64(len(s)) {
-				return value.Value{}, rtErr(e.Pos(), "index %d out of range for string of length %d", i, len(s))
+			ch, ok := value.RuneAt(s, i)
+			if !ok {
+				return value.Value{}, rtErr(e.Pos(), "index %d out of range for string of length %d", i, value.RuneLen(s))
 			}
-			return value.NewString(s[i : i+1]), nil
+			return value.NewString(ch), nil
 		}
 		a := x.Array()
-		if !a.InRange(i) {
+		j := value.NormIndex(i, int64(a.Len()))
+		if !a.InRange(j) {
 			return value.Value{}, rtErr(e.Pos(), "index %d out of range for array of length %d", i, a.Len())
 		}
-		return a.Get(int(i)), nil
+		return a.Get(int(j)), nil
 
 	case *ast.CallExpr:
 		return t.evalCall(f, e)

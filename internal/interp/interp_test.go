@@ -387,7 +387,7 @@ func TestRuntimeErrors(t *testing.T) {
 		{"div_zero", "def main():\n    x = 0\n    print(1 / x)\n", "division by zero"},
 		{"mod_zero", "def main():\n    x = 0\n    print(1 % x)\n", "modulo by zero"},
 		{"index_oob", "def main():\n    a = [1]\n    print(a[5])\n", "out of range"},
-		{"index_negative", "def main():\n    a = [1]\n    i = -1\n    print(a[i])\n", "out of range"},
+		{"index_below_neg_len", "def main():\n    a = [1]\n    i = -2\n    print(a[i])\n", "index -2 out of range"},
 		{"string_index_oob", "def main():\n    s = \"ab\"\n    print(s[9])\n", "out of range"},
 		{"store_oob", "def main():\n    a = [1]\n    a[3] = 0\n", "out of range"},
 		{"string_immutable", "def main():\n    s = \"ab\"\n    s[0] = \"x\"\n", "immutable"},

@@ -1,0 +1,117 @@
+// Package sched is Tetra's chunked work-sharing scheduler for parallel
+// loops.
+//
+// The paper maps `parallel for` directly onto one thread per element
+// (§IV), which is faithful but catastrophic for large iteration spaces: a
+// million-element loop means a million goroutines. All three execution
+// backends (the tree-walking interpreter, the bytecode VM, and the
+// gogen/gort compiled runtime) instead run the loop on a bounded pool of
+// min(workers, n) goroutines that claim contiguous index chunks from an
+// atomic cursor. Observable Tetra semantics are preserved by the backends
+// themselves: each *iteration* still gets its own Tetra thread identity,
+// private induction cell, trace events, and step accounting — only the
+// goroutine topology changes.
+//
+// Chunk size defaults to the classic grain heuristic max(1, n/(workers*8)):
+// eight chunks per worker balances load (late chunks smooth out uneven
+// iteration costs) against cursor contention.
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// chunksPerWorker is the load-balancing factor in the default grain
+// heuristic: each worker gets ~8 claims, so uneven iteration costs are
+// smoothed by the later, smaller share of work.
+const chunksPerWorker = 8
+
+// Config controls how parallel loops are scheduled. The zero value selects
+// the defaults: GOMAXPROCS workers and the grain heuristic.
+type Config struct {
+	// Workers is the maximum goroutines per parallel loop. 0 means
+	// runtime.GOMAXPROCS(0). The effective count is additionally capped at
+	// the iteration count.
+	Workers int
+	// Grain is the chunk size (iterations per claim). 0 means the
+	// heuristic max(1, n/(workers*8)).
+	Grain int
+}
+
+// WorkersFor returns the number of worker goroutines to launch for an
+// n-iteration loop: min(configured workers, n).
+func (c Config) WorkersFor(n int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 0
+	}
+	return w
+}
+
+// GrainFor returns the chunk size for an n-iteration loop split across
+// the given workers.
+func (c Config) GrainFor(n, workers int) int {
+	if c.Grain > 0 {
+		return c.Grain
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	g := n / (workers * chunksPerWorker)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Loop builds the shared claim cursor for an n-iteration loop and returns
+// it with the worker count. A zero-iteration loop yields zero workers; the
+// Loop is still valid (Next immediately reports done).
+func (c Config) Loop(n int) (workers int, l *Loop) {
+	workers = c.WorkersFor(n)
+	return workers, &Loop{n: n, grain: c.GrainFor(n, workers)}
+}
+
+// Loop is one parallel loop's chunk cursor, shared by its workers.
+type Loop struct {
+	n      int
+	grain  int
+	cursor atomic.Int64
+}
+
+// NewLoop returns a cursor over n iterations with the given chunk size
+// (grain < 1 is treated as 1).
+func NewLoop(n, grain int) *Loop {
+	if grain < 1 {
+		grain = 1
+	}
+	return &Loop{n: n, grain: grain}
+}
+
+// N returns the iteration count.
+func (l *Loop) N() int { return l.n }
+
+// Grain returns the chunk size.
+func (l *Loop) Grain() int { return l.grain }
+
+// Next claims the next contiguous chunk [lo, hi). ok is false when the
+// iteration space is exhausted. Safe for concurrent use.
+func (l *Loop) Next() (lo, hi int, ok bool) {
+	g := int64(l.grain)
+	end := l.cursor.Add(g)
+	lo64 := end - g
+	if lo64 >= int64(l.n) {
+		return 0, 0, false
+	}
+	if end > int64(l.n) {
+		end = int64(l.n)
+	}
+	return int(lo64), int(end), true
+}

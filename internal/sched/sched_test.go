@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestWorkersFor(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		cfg  Config
+		n    int
+		want int
+	}{
+		{Config{}, 0, 0},
+		{Config{}, 1, 1},
+		{Config{Workers: 4}, 100, 4},
+		{Config{Workers: 4}, 3, 3},
+		{Config{Workers: 4}, 4, 4},
+		{Config{Workers: 4}, 5, 4},
+		{Config{Workers: 1}, 1000, 1},
+		{Config{}, 1 << 20, min(procs, 1<<20)},
+	}
+	for _, c := range cases {
+		if got := c.cfg.WorkersFor(c.n); got != c.want {
+			t.Errorf("WorkersFor(%+v, n=%d) = %d, want %d", c.cfg, c.n, got, c.want)
+		}
+	}
+}
+
+func TestGrainHeuristic(t *testing.T) {
+	// max(1, n/(workers*8))
+	if g := (Config{}).GrainFor(1000, 4); g != 1000/(4*8) {
+		t.Errorf("grain = %d, want %d", g, 1000/(4*8))
+	}
+	if g := (Config{}).GrainFor(5, 4); g != 1 {
+		t.Errorf("small-n grain = %d, want 1", g)
+	}
+	if g := (Config{Grain: 17}).GrainFor(1000, 4); g != 17 {
+		t.Errorf("override grain = %d, want 17", g)
+	}
+	if g := (Config{}).GrainFor(0, 0); g != 1 {
+		t.Errorf("degenerate grain = %d, want 1", g)
+	}
+}
+
+// TestLoopCoversAllIterations checks that sequential draining claims every
+// index exactly once, for boundary-heavy sizes around worker counts.
+func TestLoopCoversAllIterations(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 31, 32, 33, 1000} {
+		for _, grain := range []int{0, 1, 2, 3, 7, 64} {
+			workers, loop := (Config{Workers: 4, Grain: grain}).Loop(n)
+			if n == 0 && workers != 0 {
+				t.Errorf("n=0: workers = %d, want 0", workers)
+			}
+			if n > 0 && (workers < 1 || workers > 4) {
+				t.Errorf("n=%d: workers = %d out of [1,4]", n, workers)
+			}
+			seen := make([]bool, n)
+			for {
+				lo, hi, ok := loop.Next()
+				if !ok {
+					break
+				}
+				if lo < 0 || hi > n || lo >= hi {
+					t.Fatalf("n=%d grain=%d: bad chunk [%d,%d)", n, grain, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					if seen[i] {
+						t.Fatalf("n=%d grain=%d: index %d claimed twice", n, grain, i)
+					}
+					seen[i] = true
+				}
+			}
+			for i, s := range seen {
+				if !s {
+					t.Fatalf("n=%d grain=%d: index %d never claimed", n, grain, i)
+				}
+			}
+		}
+	}
+}
+
+// TestLoopConcurrent drains one loop from many goroutines and checks each
+// index is claimed exactly once.
+func TestLoopConcurrent(t *testing.T) {
+	const n = 100000
+	loop := NewLoop(n, 7)
+	claimed := make([]int32, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo, hi, ok := loop.Next()
+				if !ok {
+					return
+				}
+				for i := lo; i < hi; i++ {
+					claimed[i]++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, c := range claimed {
+		if c != 1 {
+			t.Fatalf("index %d claimed %d times", i, c)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -97,6 +97,64 @@ func (p Profile) Time(cores int) int64 {
 	return p.Serial + int64(len(p.Workers))*p.SpawnCost + Makespan(p.Workers, cores)
 }
 
+// ChunkedMakespan simulates the chunked work-sharing scheduler
+// (internal/sched) on virtual cores: iterations are taken in index order,
+// grouped into grain-sized chunks, and each chunk is claimed by the worker
+// that becomes free first — the virtual-time equivalent of the atomic
+// claim cursor. Returns the parallel phase's span.
+func ChunkedMakespan(iters []int64, cores, grain int) int64 {
+	if len(iters) == 0 {
+		return 0
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	loads := make([]int64, cores)
+	for lo := 0; lo < len(iters); lo += grain {
+		hi := lo + grain
+		if hi > len(iters) {
+			hi = len(iters)
+		}
+		var chunk int64
+		for _, w := range iters[lo:hi] {
+			chunk += w
+		}
+		// The first-free worker claims the next chunk.
+		min := 0
+		for c := 1; c < cores; c++ {
+			if loads[c] < loads[min] {
+				min = c
+			}
+		}
+		loads[min] += chunk
+	}
+	var span int64
+	for _, l := range loads {
+		if l > span {
+			span = l
+		}
+	}
+	return span
+}
+
+// ChunkedTime returns the simulated completion time of the profile when
+// the parallel phase runs on the chunked work-sharing scheduler with the
+// given worker count and grain: spawn overhead is paid once per worker
+// (the scheduler's whole point), not per iteration.
+func (p Profile) ChunkedTime(workers, grain int) int64 {
+	w := workers
+	if n := len(p.Workers); w > n {
+		w = n
+	}
+	if w < 1 && len(p.Workers) > 0 {
+		w = 1
+	}
+	return p.Serial + int64(w)*p.SpawnCost + ChunkedMakespan(p.Workers, workers, grain)
+}
+
 // TotalWork returns serial plus all worker work (the 1-core lower bound,
 // ignoring spawn overhead).
 func (p Profile) TotalWork() int64 {

@@ -134,6 +134,79 @@ func TestCurveMonotonicSpeedup(t *testing.T) {
 	}
 }
 
+func TestChunkedMakespan(t *testing.T) {
+	// 8 equal iterations, grain 2 → 4 chunks of 20; on 2 cores: 40 each.
+	equal := []int64{10, 10, 10, 10, 10, 10, 10, 10}
+	if got := ChunkedMakespan(equal, 2, 2); got != 40 {
+		t.Errorf("makespan = %d, want 40", got)
+	}
+	// Grain spanning the whole loop serializes it.
+	if got := ChunkedMakespan(equal, 4, 8); got != 80 {
+		t.Errorf("oversized grain = %d, want 80", got)
+	}
+	// Grain not dividing n: chunks 30,30,30,10 on 2 cores → {30,10} vs
+	// {30,30} → 60.
+	if got := ChunkedMakespan([]int64{10, 10, 10, 10, 10, 10, 10, 10, 10, 10}, 2, 3); got != 60 {
+		t.Errorf("ragged grain = %d, want 60", got)
+	}
+	// Late cheap chunks rebalance an expensive head: 100,1,1,1 at grain 1
+	// on 2 cores → the three cheap iterations share a core → 100.
+	if got := ChunkedMakespan([]int64{100, 1, 1, 1}, 2, 1); got != 100 {
+		t.Errorf("imbalanced = %d, want 100", got)
+	}
+	if ChunkedMakespan(nil, 4, 1) != 0 {
+		t.Error("empty iterations")
+	}
+	if ChunkedMakespan([]int64{7}, 0, 0) != 7 {
+		t.Error("cores/grain < 1 should clamp to 1")
+	}
+}
+
+// Property: the chunked makespan is bounded below by the heaviest chunk
+// and total/cores, above by the serial total, and one core is exactly
+// serial.
+func TestChunkedMakespanBounds(t *testing.T) {
+	f := func(raw []uint16, coresRaw, grainRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		cores := int(coresRaw%16) + 1
+		grain := int(grainRaw%8) + 1
+		iters := make([]int64, len(raw))
+		var total int64
+		for i, r := range raw {
+			iters[i] = int64(r)
+			total += int64(r)
+		}
+		got := ChunkedMakespan(iters, cores, grain)
+		if got > total || got < total/int64(cores) {
+			return false
+		}
+		return ChunkedMakespan(iters, 1, grain) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChunkedTime(t *testing.T) {
+	// 8 iterations of 10 units: spawn is charged per worker, not per
+	// iteration — the scheduler's point.
+	p := Profile{Serial: 100, Workers: []int64{10, 10, 10, 10, 10, 10, 10, 10}, SpawnCost: 5}
+	// serial + 2 workers * 5 + makespan(grain 2 on 2 cores: 40) = 150.
+	if got := p.ChunkedTime(2, 2); got != 150 {
+		t.Errorf("chunked time = %d, want 150", got)
+	}
+	// Worker charge is capped at the iteration count.
+	if got := p.ChunkedTime(100, 1); got != 100+8*5+10 {
+		t.Errorf("over-provisioned = %d, want %d", got, 100+8*5+10)
+	}
+	// More workers must never be slower in simulated units (same grain).
+	if t1, t4 := p.ChunkedTime(1, 1), p.ChunkedTime(4, 1); t4 > t1 {
+		t.Errorf("4 workers (%d) slower than 1 (%d)", t4, t1)
+	}
+}
+
 func TestFormatCurve(t *testing.T) {
 	rows := []Row{{Cores: 1, Time: 100, Speedup: 1, Efficiency: 1}}
 	text := FormatCurve("title", rows)

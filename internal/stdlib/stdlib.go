@@ -314,7 +314,8 @@ func init() {
 			if args[0].K == value.Arr {
 				return value.NewInt(int64(args[0].Array().Len())), nil
 			}
-			return value.NewInt(int64(len(args[0].Str()))), nil
+			// Strings measure Unicode characters, not bytes.
+			return value.NewInt(int64(value.RuneLen(args[0].Str()))), nil
 		})
 
 	register(Range, "range",

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/bytecode"
 	"repro/internal/guard"
+	"repro/internal/sched"
 	"repro/internal/stdlib"
 	"repro/internal/token"
 	"repro/internal/types"
@@ -45,6 +46,10 @@ type Options struct {
 	// executed instruction (the VM analog of the interpreter's
 	// statement-boundary check).
 	Guard *guard.Governor
+	// Sched controls how parallel-for loops are chunked across worker
+	// goroutines. The zero value uses GOMAXPROCS workers and the default
+	// grain heuristic.
+	Sched sched.Config
 }
 
 // VM executes one compiled program.
@@ -412,17 +417,19 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 			i := idx.Int()
 			if x.K == value.Str {
 				s := x.Str()
-				if i < 0 || i >= int64(len(s)) {
-					return false, value.Value{}, rtErr(ch.Pos[pc], "index %d out of range for string of length %d", i, len(s))
+				ch2, ok := value.RuneAt(s, i)
+				if !ok {
+					return false, value.Value{}, rtErr(ch.Pos[pc], "index %d out of range for string of length %d", i, value.RuneLen(s))
 				}
-				push(value.NewString(s[i : i+1]))
+				push(value.NewString(ch2))
 				break
 			}
 			a := x.Array()
-			if !a.InRange(i) {
+			j := value.NormIndex(i, int64(a.Len()))
+			if !a.InRange(j) {
 				return false, value.Value{}, rtErr(ch.Pos[pc], "index %d out of range for array of length %d", i, a.Len())
 			}
-			push(a.Get(int(i)))
+			push(a.Get(int(j)))
 
 		case bytecode.OpStoreIndex:
 			v := pop()
@@ -433,10 +440,11 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 			}
 			a := x.Array()
 			i := idx.Int()
-			if !a.InRange(i) {
+			j := value.NormIndex(i, int64(a.Len()))
+			if !a.InRange(j) {
 				return false, value.Value{}, rtErr(ch.Pos[pc], "index %d out of range for array of length %d", i, a.Len())
 			}
-			a.Set(int(i), v)
+			a.Set(int(j), v)
 
 		case bytecode.OpArray:
 			n := int(ins.A)
@@ -477,23 +485,19 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 			}
 			seq := f.load(ins.A)
 			idx := f.load(ins.A + 1).Int()
-			var n int64
 			if seq.K == value.Str {
-				n = int64(len(seq.Str()))
-			} else {
-				n = int64(seq.Array().Len())
+				// Materialize the string's Unicode characters once, into
+				// the compiler-synthesized hidden slot, so iteration is
+				// rune-correct without per-step decoding.
+				seq = value.NewArray(value.Runes(seq.Str()))
+				f.store(ins.A, seq)
 			}
-			if idx >= n {
+			a := seq.Array()
+			if idx >= int64(a.Len()) {
 				pc = int(ins.B) - 1
 				break
 			}
-			var el value.Value
-			if seq.K == value.Str {
-				el = value.NewString(seq.Str()[idx : idx+1])
-			} else {
-				el = seq.Array().Get(int(idx))
-			}
-			f.store(ins.C, el)
+			f.store(ins.C, a.Get(int(idx)))
 			f.store(ins.A+1, value.NewInt(idx+1))
 
 		case bytecode.OpParallel:
@@ -540,24 +544,22 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 			}
 
 		case bytecode.OpParFor:
+			// Chunked work-sharing (internal/sched): min(workers, n)
+			// goroutines claim contiguous index chunks; every iteration
+			// still executes as its own Tetra thread with a private
+			// induction cell. The thread budget is charged per worker.
 			seq := pop()
 			sub := &f.fn.Chunks[ins.A]
-			var n int
+			var elems *value.Array
 			if seq.K == value.Str {
-				n = len(seq.Str())
+				elems = value.Runes(seq.Str())
 			} else {
-				n = seq.Array().Len()
+				elems = seq.Array()
 			}
+			workers, loop := t.vm.opts.Sched.Loop(elems.Len())
 			var wg sync.WaitGroup
 			var spawnErr error
-			for i := 0; i < n; i++ {
-				var el value.Value
-				if seq.K == value.Str {
-					el = value.NewString(seq.Str()[i : i+1])
-				} else {
-					el = seq.Array().Get(i)
-				}
-				view := f.fork(int(ins.C), el)
+			for w := 0; w < workers; w++ {
 				if spawnErr = t.checkSpawn(ch.Pos[pc]); spawnErr != nil {
 					break
 				}
@@ -565,9 +567,24 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 				go func() {
 					defer wg.Done()
 					defer t.doneSpawn()
-					nt := t.vm.newThread()
-					if _, _, err := nt.exec(sub, view); err != nil && err != errStopped {
-						t.vm.setErr(err)
+					for {
+						lo, hi, ok := loop.Next()
+						if !ok {
+							return
+						}
+						for i := lo; i < hi; i++ {
+							if t.vm.stopped.Load() {
+								return
+							}
+							view := f.fork(int(ins.C), elems.Get(i))
+							nt := t.vm.newThread()
+							if _, _, err := nt.exec(sub, view); err != nil {
+								if err != errStopped {
+									t.vm.setErr(err)
+								}
+								return
+							}
+						}
 					}
 				}()
 			}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/guard"
 	"repro/internal/interp"
+	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/types"
 	"repro/internal/value"
@@ -79,7 +80,16 @@ type Config struct {
 	// budget terminates the run with a positioned runtime error. The zero
 	// value leaves execution unbounded. See SandboxLimits.
 	Limits Limits
+	// Sched controls how `parallel for` loops are scheduled: Workers caps
+	// the goroutine pool per loop (default GOMAXPROCS) and Grain sets the
+	// chunk size (default max(1, n/(workers*8))). Iteration semantics are
+	// unchanged — each iteration remains its own Tetra thread.
+	Sched Sched
 }
+
+// Sched is the parallel-loop scheduling configuration; the zero value
+// selects the defaults.
+type Sched = sched.Config
 
 // Limits is the resource budget for one execution; the zero value of any
 // field means "unlimited".
@@ -144,6 +154,7 @@ func coreConfig(cfg Config) core.Config {
 		NoWaitBackground:    cfg.NoWaitBackground,
 		NoDeadlockDetection: cfg.NoDeadlockDetection,
 		Limits:              cfg.Limits,
+		Sched:               cfg.Sched,
 	}
 }
 
