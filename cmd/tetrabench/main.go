@@ -16,6 +16,9 @@
 //	scaling   S1: chunked-scheduler scaling on per-element parallel-for
 //	          workloads (parallelsum/mandelbrot/primes), workers ∈ -workers;
 //	          writes the JSON report to -out (default BENCH_scaling.json)
+//	opt       O1: bytecode-optimizer ablation (VM at -O0/-O1/-O2 on
+//	          interpretation-bound workloads) plus the compile-cache
+//	          cold-vs-warm delta; writes BENCH_opt.json
 //	all       everything except limits and scaling (default)
 //
 // Each speedup experiment prints the wall-clock table (meaningful on a
@@ -41,7 +44,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, limits, scaling, or all")
+	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, limits, scaling, opt, or all")
 	limit := flag.Int("limit", 200000, "E1: count primes below this limit")
 	fullScale := flag.Bool("paper-scale", false, "E1: use the paper's full workload (first million primes ⇒ limit 15485864); slow on the interpreter")
 	n := flag.Int("n", 10, "E2: number of TSP cities")
@@ -73,6 +76,12 @@ func run() int {
 		return limitsOverhead(*limit, *n, *reps)
 	case "scaling":
 		return scaling(*quick, workers, *reps, *out)
+	case "opt":
+		outPath := *out
+		if outPath == "BENCH_scaling.json" {
+			outPath = "BENCH_opt.json"
+		}
+		return opt(*quick, *reps, outPath)
 	case "all":
 		if rc := primes(*limit, workers, *reps); rc != 0 {
 			return rc
@@ -208,6 +217,22 @@ func scaling(quick bool, workers []int, reps int, outPath string) int {
 	}
 	fmt.Printf("\nwrote %s (speedup column is the simulated-multicore model of DESIGN.md §3.5;\n", outPath)
 	fmt.Println("wall-clock speedup requires a multicore host)")
+	return 0
+}
+
+func opt(quick bool, reps int, outPath string) int {
+	fmt.Println("O1: bytecode optimizer ablation (VM at O0/O1/O2) and compile-cache hit cost")
+	rep, err := bench.Opt(quick, reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Print(bench.FormatOptTable(rep))
+	if err := bench.WriteOptJSON(outPath, rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("\nwrote %s\n", outPath)
 	return 0
 }
 

@@ -143,3 +143,33 @@ func TestRunOnceReportsErrors(t *testing.T) {
 		t.Error("runtime error not propagated")
 	}
 }
+
+func TestOptReportShape(t *testing.T) {
+	rep, err := Opt(true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3*len(rep.Levels) {
+		t.Fatalf("rows = %d, want %d", len(rep.Rows), 3*len(rep.Levels))
+	}
+	// Outputs must be identical across levels within a workload — the
+	// optimizer may only change speed, never results.
+	byWorkload := map[string]string{}
+	for _, r := range rep.Rows {
+		if prev, ok := byWorkload[r.Workload]; ok && prev != r.Output {
+			t.Errorf("%s: output differs across levels: %q vs %q", r.Workload, prev, r.Output)
+		}
+		byWorkload[r.Workload] = r.Output
+		if r.WallNS <= 0 {
+			t.Errorf("%s O%d: non-positive time %d", r.Workload, r.Level, r.WallNS)
+		}
+	}
+	for _, c := range rep.Cache {
+		if c.WarmNS <= 0 || c.ColdNS <= 0 {
+			t.Errorf("%s: cache times cold=%d warm=%d", c.Workload, c.ColdNS, c.WarmNS)
+		}
+		if c.WarmNS >= c.ColdNS {
+			t.Errorf("%s: warm cache hit (%dns) not faster than cold compile (%dns)", c.Workload, c.WarmNS, c.ColdNS)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/core"
+)
+
+// The optimizer experiment (O1): how much does the bytecode optimizer buy
+// on interpretation-bound workloads, and how much does the compile cache
+// save on repeated runs of the same source? Reported as BENCH_opt.json so
+// the numbers are committed alongside the code they measure.
+
+// OptRow is one (workload, optimization level) measurement on the VM.
+type OptRow struct {
+	Workload string  `json:"workload"`
+	Level    int     `json:"level"`
+	WallNS   int64   `json:"wall_ns"` // best-of-reps execution time, compile excluded
+	Speedup  float64 `json:"speedup"` // vs the same workload at O0
+	Output   string  `json:"output"`  // must be identical across levels
+}
+
+// OptCacheRow reports the compile-cache effect for one workload: the cost
+// of a cold compile (parse+check+bytecode+optimize) vs a warm cache hit.
+type OptCacheRow struct {
+	Workload string  `json:"workload"`
+	ColdNS   int64   `json:"cold_ns"` // full pipeline, empty cache
+	WarmNS   int64   `json:"warm_ns"` // cache hit (best of reps)
+	Speedup  float64 `json:"speedup"` // cold / warm
+}
+
+// OptReport is the BENCH_opt.json document.
+type OptReport struct {
+	Experiment string        `json:"experiment"`
+	HostCores  int           `json:"host_cores"`
+	Quick      bool          `json:"quick"`
+	Levels     []int         `json:"levels"`
+	Rows       []OptRow      `json:"rows"`
+	Cache      []OptCacheRow `json:"cache"`
+}
+
+// ArithLoopSource is a tight scalar loop dominated by compare-and-branch
+// and accumulate-constant shapes — the patterns the peephole fuser targets.
+func ArithLoopSource(n int) string {
+	return fmt.Sprintf(`def main():
+    i = 0
+    s = 0
+    while i < %d:
+        s = (s + i * 3 + 7) %% 1000003
+        i = i + 1
+    print(s)
+`, n)
+}
+
+// optWorkloads are sequential on purpose: the optimizer shortens the
+// per-instruction path, so thread scheduling noise would only blur it.
+func optWorkloads(quick bool) []struct{ name, src string } {
+	if quick {
+		return []struct{ name, src string }{
+			{"arithloop", ArithLoopSource(20000)},
+			{"primes", PrimesSource(3000, 1)},
+			{"fib", "def fib(n int) int:\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\n\ndef main():\n    print(fib(18))\n"},
+		}
+	}
+	return []struct{ name, src string }{
+		{"arithloop", ArithLoopSource(2000000)},
+		{"primes", PrimesSource(60000, 1)},
+		{"fib", "def fib(n int) int:\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\n\ndef main():\n    print(fib(27))\n"},
+	}
+}
+
+// Opt runs every workload on the VM at each optimization level (best of
+// reps, compile time excluded) and measures the compile cache cold/warm
+// delta, returning the report for BENCH_opt.json.
+func Opt(quick bool, reps int) (*OptReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	levels := []int{bytecode.O0, bytecode.O1, bytecode.O2}
+	rep := &OptReport{
+		Experiment: "opt",
+		HostCores:  runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		Levels:     levels,
+	}
+	for _, wl := range optWorkloads(quick) {
+		prog, err := core.Compile(wl.name+".ttr", wl.src)
+		if err != nil {
+			return nil, err
+		}
+		var baseNS int64
+		for _, level := range levels {
+			bc, err := core.CompileBytecodeOpt(prog, level)
+			if err != nil {
+				return nil, err
+			}
+			best := time.Duration(1<<63 - 1)
+			var output string
+			for r := 0; r < reps; r++ {
+				var out bytes.Buffer
+				m := core.NewVM(bc, core.Config{Stdout: &out})
+				start := time.Now()
+				if err := m.Run(); err != nil {
+					return nil, err
+				}
+				if d := time.Since(start); d < best {
+					best = d
+				}
+				output = trimOutput(out.String())
+			}
+			row := OptRow{Workload: wl.name, Level: level, WallNS: best.Nanoseconds(), Output: output}
+			if level == levels[0] {
+				baseNS = row.WallNS
+			}
+			if row.WallNS > 0 {
+				row.Speedup = float64(baseNS) / float64(row.WallNS)
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+
+		// Cache: cold = full pipeline into an empty cache; warm = repeat
+		// lookup of the identical source.
+		cache := core.NewCompileCache(0)
+		start := time.Now()
+		if _, err := cache.CompileBytecode(wl.name+".ttr", wl.src, bytecode.DefaultLevel); err != nil {
+			return nil, err
+		}
+		cold := time.Since(start)
+		warm := time.Duration(1<<63 - 1)
+		for r := 0; r < reps*3; r++ {
+			start = time.Now()
+			if _, err := cache.CompileBytecode(wl.name+".ttr", wl.src, bytecode.DefaultLevel); err != nil {
+				return nil, err
+			}
+			if d := time.Since(start); d < warm {
+				warm = d
+			}
+		}
+		crow := OptCacheRow{Workload: wl.name, ColdNS: cold.Nanoseconds(), WarmNS: warm.Nanoseconds()}
+		if crow.WarmNS > 0 {
+			crow.Speedup = float64(crow.ColdNS) / float64(crow.WarmNS)
+		}
+		rep.Cache = append(rep.Cache, crow)
+	}
+	return rep, nil
+}
+
+// WriteOptJSON writes the report, pretty-printed for diffable commits.
+func WriteOptJSON(path string, rep *OptReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatOptTable renders the report for the terminal.
+func FormatOptTable(rep *OptReport) string {
+	var sb bytes.Buffer
+	last := ""
+	for _, r := range rep.Rows {
+		if r.Workload != last {
+			if last != "" {
+				sb.WriteString("\n")
+			}
+			fmt.Fprintf(&sb, "  %s (VM):\n", r.Workload)
+			fmt.Fprintf(&sb, "    %-6s %12s %9s\n", "level", "time", "speedup")
+			last = r.Workload
+		}
+		fmt.Fprintf(&sb, "    O%-5d %12v %8.2fx\n", r.Level, time.Duration(r.WallNS).Round(time.Microsecond), r.Speedup)
+	}
+	sb.WriteString("\n  compile cache (parse+check+compile+optimize at default level):\n")
+	fmt.Fprintf(&sb, "    %-10s %12s %12s %9s\n", "workload", "cold", "warm hit", "speedup")
+	for _, c := range rep.Cache {
+		fmt.Fprintf(&sb, "    %-10s %12v %12v %8.0fx\n", c.Workload,
+			time.Duration(c.ColdNS).Round(time.Microsecond), time.Duration(c.WarmNS), c.Speedup)
+	}
+	return sb.String()
+}

@@ -82,6 +82,18 @@ const (
 
 	OpLockAcquire // acquire program lock A
 	OpLockRelease // release program lock A
+
+	// Fused opcodes, produced only by the optimizer (internal/bytecode's
+	// optimize.go) at -O2. The compiler never emits them directly.
+
+	// OpCmpJump fuses a comparison with the conditional branch consuming
+	// it: pop r, pop l, evaluate compare-op B (one of OpEq..OpGe), and jump
+	// to A when the result matches sense C (1 = jump if true, 0 = jump if
+	// false).
+	OpCmpJump
+	// OpArithConst fuses a constant load with the arithmetic op consuming
+	// it: pop l, push l <op B> Consts[A], where B is one of OpAdd..OpMod.
+	OpArithConst
 )
 
 var opNames = [...]string{
@@ -96,6 +108,7 @@ var opNames = [...]string{
 	OpForIter:  "foriter",
 	OpParallel: "parallel", OpBackground: "background", OpParFor: "parfor",
 	OpLockAcquire: "lockacq", OpLockRelease: "lockrel",
+	OpCmpJump: "cmpjump", OpArithConst: "arithconst",
 }
 
 // String returns the opcode mnemonic.

@@ -126,14 +126,19 @@ func (c *fnCompiler) patch(i int) {
 
 func (c *fnCompiler) pc() int32 { return int32(len(c.chunk().Code)) }
 
-func (c *fnCompiler) constIndex(v value.Value) int32 {
-	for i, existing := range c.fn.Consts {
+func (c *fnCompiler) constIndex(v value.Value) int32 { return c.fn.constIndex(v) }
+
+// constIndex interns v in the function's constant pool, reusing an
+// existing slot when an identical constant is already pooled. Shared by
+// the compiler and the optimizer's constant folder.
+func (f *Func) constIndex(v value.Value) int32 {
+	for i, existing := range f.Consts {
 		if existing.K == v.K && existing.B == v.B && existing.S == v.S && existing.A == v.A {
 			return int32(i)
 		}
 	}
-	c.fn.Consts = append(c.fn.Consts, v)
-	return int32(len(c.fn.Consts) - 1)
+	f.Consts = append(f.Consts, v)
+	return int32(len(f.Consts) - 1)
 }
 
 func (c *fnCompiler) typeIndex(t *types.Type) int32 {
@@ -596,14 +601,43 @@ func (c *fnCompiler) binary(e *ast.BinaryExpr) error {
 }
 
 // Disassemble renders a compiled function for debugging and tests.
+// Constant operands and the optimizer's fused opcodes get a trailing
+// comment spelling out their meaning.
 func Disassemble(f *Func) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "func %s (params=%d slots=%d shared=%v)\n", f.Name, f.NumParams, f.NumSlots, f.Shared)
 	for ci, ch := range f.Chunks {
 		fmt.Fprintf(&sb, " chunk %d:\n", ci)
 		for pc, ins := range ch.Code {
-			fmt.Fprintf(&sb, "  %4d %-10s %d %d %d\n", pc, ins.Op, ins.A, ins.B, ins.C)
+			fmt.Fprintf(&sb, "  %4d %-10s %d %d %d%s\n", pc, ins.Op, ins.A, ins.B, ins.C, annotate(f, ins))
 		}
 	}
 	return sb.String()
+}
+
+// annotate explains operands that are opaque in the raw A B C rendering.
+func annotate(f *Func, ins Instr) string {
+	constStr := func(i int32) string {
+		if int(i) < len(f.Consts) {
+			c := f.Consts[i]
+			if c.K == value.Str {
+				return fmt.Sprintf("%q", c.Str())
+			}
+			return c.String()
+		}
+		return "?"
+	}
+	switch ins.Op {
+	case OpConst:
+		return "   ; push " + constStr(ins.A)
+	case OpCmpJump:
+		sense := "if-true"
+		if ins.C == 0 {
+			sense = "if-false"
+		}
+		return fmt.Sprintf("   ; %s → jump %d %s", Op(ins.B), ins.A, sense)
+	case OpArithConst:
+		return fmt.Sprintf("   ; %s const %s", Op(ins.B), constStr(ins.A))
+	}
+	return ""
 }

@@ -256,7 +256,7 @@ def main():
 }
 
 func TestOpStringCoverage(t *testing.T) {
-	for op := OpNop; op <= OpLockRelease; op++ {
+	for op := OpNop; op <= OpArithConst; op++ {
 		s := op.String()
 		if strings.HasPrefix(s, "op(") {
 			t.Errorf("opcode %d has no mnemonic", int(op))

@@ -1,0 +1,483 @@
+package bytecode
+
+// The optimizer pipeline. Compiled chunks pass through four phases, each
+// preserving observable program behaviour exactly (output bytes, runtime
+// errors and their positions, parallel semantics):
+//
+//  1. constant folding    — Const/Const/op triples, unary ops on
+//                           constants, and branches on constant conditions
+//                           collapse at compile time. Folds mirror the
+//                           VM's arithmetic bit-for-bit and are refused
+//                           whenever the runtime would raise (division or
+//                           modulo by zero, on ints AND reals), so the
+//                           error surfaces at run time with its position.
+//  2. jump threading      — a jump whose target is another unconditional
+//                           jump is retargeted to the final destination,
+//                           so conditional exits of nested loops do not
+//                           hop through jump chains.
+//  3. dead-code removal   — instructions unreachable from the chunk entry
+//                           (e.g. the jump emitted after a `return` inside
+//                           a conditional) are deleted, with all jump
+//                           targets remapped.
+//  4. peephole fusion     — compare+branch pairs fuse into OpCmpJump and
+//                           const+arith pairs into OpArithConst, halving
+//                           dispatch on the hottest loop shapes
+//                           (`while i < n`, `i += 1`).
+//
+// Every phase is differentially verified: the golden corpus and the
+// cross-backend differential tests must produce byte-identical output at
+// O0 and O2 (see internal/vm's optimizer differential tests and the CI
+// step running the corpus at both levels).
+
+import (
+	"math"
+
+	"repro/internal/value"
+)
+
+// Optimization levels.
+const (
+	O0 = 0 // no optimization: execute exactly what the compiler emitted
+	O1 = 1 // constant folding + jump threading + dead-code elimination
+	O2 = 2 // O1 plus peephole fusion (OpCmpJump, OpArithConst)
+
+	// DefaultLevel is what the fast path uses unless told otherwise.
+	DefaultLevel = O2
+)
+
+// Optimize runs the optimizer pipeline over every chunk of every function
+// at the given level, mutating and returning p. Level <= 0 is a no-op;
+// levels above O2 clamp to O2.
+func Optimize(p *Program, level int) *Program {
+	if level <= O0 {
+		return p
+	}
+	for _, f := range p.Funcs {
+		for ci := range f.Chunks {
+			optimizeChunk(f, &f.Chunks[ci], level)
+		}
+	}
+	return p
+}
+
+func optimizeChunk(f *Func, ch *Chunk, level int) {
+	// Folding can expose more folds (e.g. 1+2+3) and threading can expose
+	// more dead code, so iterate O1 to a fixpoint. Each round strictly
+	// shrinks the chunk or changes nothing, so termination is immediate.
+	for {
+		changed := foldConstants(f, ch)
+		changed = threadJumps(ch) || changed
+		changed = removeDeadCode(ch) || changed
+		if !changed {
+			break
+		}
+	}
+	if level >= O2 {
+		fusePeepholes(f, ch)
+	}
+}
+
+// jumpTargets returns, for each pc, whether some instruction jumps there.
+// A folding or fusion window may only span pcs that are not entered from
+// elsewhere (except at the window's first instruction).
+func jumpTargets(ch *Chunk) []bool {
+	t := make([]bool, len(ch.Code)+1)
+	mark := func(a int32) {
+		if a >= 0 && int(a) <= len(ch.Code) {
+			t[a] = true
+		}
+	}
+	for _, ins := range ch.Code {
+		switch ins.Op {
+		case OpJump, OpJumpIfFalse, OpJumpIfTrue, OpCmpJump:
+			mark(ins.A)
+		case OpForIter:
+			mark(ins.B)
+		}
+	}
+	return t
+}
+
+// constOf reports whether ins pushes a statically known value.
+func constOf(f *Func, ins Instr) (value.Value, bool) {
+	switch ins.Op {
+	case OpConst:
+		return f.Consts[ins.A], true
+	case OpTrue:
+		return value.NewBool(true), true
+	case OpFalse:
+		return value.NewBool(false), true
+	}
+	return value.Value{}, false
+}
+
+// constInstr builds the instruction that pushes v.
+func constInstr(f *Func, v value.Value) Instr {
+	if v.K == value.Bool {
+		if v.Bool() {
+			return Instr{Op: OpTrue}
+		}
+		return Instr{Op: OpFalse}
+	}
+	return Instr{Op: OpConst, A: f.constIndex(v)}
+}
+
+// maxFoldedString caps compile-time string concatenation so pathological
+// constant expressions cannot balloon the constant pool.
+const maxFoldedString = 1 << 16
+
+// foldBinary evaluates l op r with the VM's exact semantics. ok is false
+// when the expression must be left for run time: division or modulo by
+// zero (int AND real — both raise, see internal/vm arith), non-constant
+// kinds, or oversized string concatenation.
+func foldBinary(op Op, l, r value.Value) (v value.Value, ok bool) {
+	switch op {
+	case OpEq:
+		return value.NewBool(value.Equal(l, r)), true
+	case OpNe:
+		return value.NewBool(!value.Equal(l, r)), true
+	case OpLt, OpLe, OpGt, OpGe:
+		return foldCompare(op, l, r)
+	}
+	if l.K == value.Str || r.K == value.Str {
+		if op == OpAdd && l.K == value.Str && r.K == value.Str {
+			if len(l.Str())+len(r.Str()) > maxFoldedString {
+				return value.Value{}, false
+			}
+			return value.NewString(l.Str() + r.Str()), true
+		}
+		return value.Value{}, false
+	}
+	if l.K == value.Int && r.K == value.Int {
+		a, b := l.Int(), r.Int()
+		switch op {
+		case OpAdd:
+			return value.NewInt(a + b), true
+		case OpSub:
+			return value.NewInt(a - b), true
+		case OpMul:
+			return value.NewInt(a * b), true
+		case OpDiv:
+			if b == 0 {
+				return value.Value{}, false
+			}
+			return value.NewInt(a / b), true
+		case OpMod:
+			if b == 0 {
+				return value.Value{}, false
+			}
+			return value.NewInt(a % b), true
+		}
+		return value.Value{}, false
+	}
+	if (l.K == value.Int || l.K == value.Real) && (r.K == value.Int || r.K == value.Real) {
+		a, b := l.AsReal(), r.AsReal()
+		switch op {
+		case OpAdd:
+			return value.NewReal(a + b), true
+		case OpSub:
+			return value.NewReal(a - b), true
+		case OpMul:
+			return value.NewReal(a * b), true
+		case OpDiv:
+			if b == 0 {
+				return value.Value{}, false
+			}
+			return value.NewReal(a / b), true
+		case OpMod:
+			if b == 0 {
+				return value.Value{}, false
+			}
+			return value.NewReal(math.Mod(a, b)), true
+		}
+	}
+	return value.Value{}, false
+}
+
+func foldCompare(op Op, l, r value.Value) (value.Value, bool) {
+	var cmp int
+	switch {
+	case l.K == value.Str && r.K == value.Str:
+		switch {
+		case l.Str() < r.Str():
+			cmp = -1
+		case l.Str() > r.Str():
+			cmp = 1
+		}
+	case l.K == value.Int && r.K == value.Int:
+		a, b := l.Int(), r.Int()
+		switch {
+		case a < b:
+			cmp = -1
+		case a > b:
+			cmp = 1
+		}
+	case (l.K == value.Int || l.K == value.Real) && (r.K == value.Int || r.K == value.Real):
+		a, b := l.AsReal(), r.AsReal()
+		switch {
+		case a < b:
+			cmp = -1
+		case a > b:
+			cmp = 1
+		}
+	default:
+		return value.Value{}, false
+	}
+	switch op {
+	case OpLt:
+		return value.NewBool(cmp < 0), true
+	case OpLe:
+		return value.NewBool(cmp <= 0), true
+	case OpGt:
+		return value.NewBool(cmp > 0), true
+	default:
+		return value.NewBool(cmp >= 0), true
+	}
+}
+
+func isArith(op Op) bool {
+	return op == OpAdd || op == OpSub || op == OpMul || op == OpDiv || op == OpMod
+}
+
+func isCompare(op Op) bool {
+	switch op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// foldConstants rewrites constant computations in place, marking consumed
+// instructions OpNop, then compacts the chunk. Reports whether anything
+// changed.
+func foldConstants(f *Func, ch *Chunk) bool {
+	targets := jumpTargets(ch)
+	code := ch.Code
+	changed := false
+	for pc := 0; pc < len(code); pc++ {
+		ins := code[pc]
+		v1, ok1 := constOf(f, ins)
+		if !ok1 {
+			continue
+		}
+
+		// Window: Const a, Const b, binop → Const (a op b).
+		if pc+2 < len(code) && !targets[pc+1] && !targets[pc+2] {
+			if v2, ok2 := constOf(f, code[pc+1]); ok2 {
+				next := code[pc+2]
+				if isArith(next.Op) || isCompare(next.Op) {
+					if v, ok := foldBinary(next.Op, v1, v2); ok {
+						code[pc] = constInstr(f, v)
+						code[pc+1] = Instr{Op: OpNop}
+						code[pc+2] = Instr{Op: OpNop}
+						changed = true
+						continue
+					}
+				}
+			}
+		}
+
+		if pc+1 >= len(code) || targets[pc+1] {
+			continue
+		}
+		next := code[pc+1]
+		switch next.Op {
+		// Const, unary op → folded constant.
+		case OpNeg:
+			var v value.Value
+			switch v1.K {
+			case value.Int:
+				v = value.NewInt(-v1.Int())
+			case value.Real:
+				v = value.NewReal(-v1.Real())
+			default:
+				continue
+			}
+			code[pc] = constInstr(f, v)
+			code[pc+1] = Instr{Op: OpNop}
+			changed = true
+		case OpNot:
+			if v1.K != value.Bool {
+				continue
+			}
+			code[pc] = constInstr(f, value.NewBool(!v1.Bool()))
+			code[pc+1] = Instr{Op: OpNop}
+			changed = true
+		case OpToReal:
+			if v1.K == value.Int {
+				code[pc] = constInstr(f, value.NewReal(float64(v1.Int())))
+				code[pc+1] = Instr{Op: OpNop}
+				changed = true
+			} else if v1.K == value.Real {
+				code[pc+1] = Instr{Op: OpNop}
+				changed = true
+			}
+
+		// Constant condition, conditional branch → unconditional jump or
+		// fall-through. This is what turns `while true:` into a plain loop.
+		case OpJumpIfFalse, OpJumpIfTrue:
+			if v1.K != value.Bool {
+				continue
+			}
+			taken := v1.Bool() == (next.Op == OpJumpIfTrue)
+			if taken {
+				code[pc] = Instr{Op: OpJump, A: next.A}
+			} else {
+				code[pc] = Instr{Op: OpNop}
+			}
+			code[pc+1] = Instr{Op: OpNop}
+			changed = true
+		}
+	}
+	if changed {
+		compact(ch)
+	}
+	return changed
+}
+
+// threadJumps retargets jumps whose destination is an unconditional jump,
+// following chains with a visit bound so degenerate cycles terminate.
+func threadJumps(ch *Chunk) bool {
+	code := ch.Code
+	final := func(t int32) int32 {
+		for hops := 0; hops <= len(code); hops++ {
+			if int(t) >= len(code) || code[t].Op != OpJump || code[t].A == t {
+				return t
+			}
+			t = code[t].A
+		}
+		return t
+	}
+	changed := false
+	for i, ins := range code {
+		switch ins.Op {
+		case OpJump, OpJumpIfFalse, OpJumpIfTrue, OpCmpJump:
+			if nt := final(ins.A); nt != ins.A {
+				code[i].A = nt
+				changed = true
+			}
+		case OpForIter:
+			if nt := final(ins.B); nt != ins.B {
+				code[i].B = nt
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// removeDeadCode deletes instructions unreachable from the chunk entry.
+func removeDeadCode(ch *Chunk) bool {
+	code := ch.Code
+	if len(code) == 0 {
+		return false
+	}
+	reach := make([]bool, len(code))
+	stack := []int{0}
+	visit := func(pc int32) {
+		if pc >= 0 && int(pc) < len(code) && !reach[pc] {
+			reach[pc] = true
+			stack = append(stack, int(pc))
+		}
+	}
+	reach[0] = true
+	for len(stack) > 0 {
+		pc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ins := code[pc]
+		switch ins.Op {
+		case OpJump:
+			visit(ins.A)
+		case OpReturn, OpReturnNone:
+			// no successors
+		case OpJumpIfFalse, OpJumpIfTrue, OpCmpJump:
+			visit(ins.A)
+			visit(int32(pc + 1))
+		case OpForIter:
+			visit(ins.B)
+			visit(int32(pc + 1))
+		default:
+			visit(int32(pc + 1))
+		}
+	}
+	changed := false
+	for pc := range code {
+		if !reach[pc] && code[pc].Op != OpNop {
+			code[pc] = Instr{Op: OpNop}
+			changed = true
+		}
+	}
+	if changed {
+		compact(ch)
+	}
+	return changed
+}
+
+// fusePeepholes merges adjacent pairs into the fused opcodes. The second
+// instruction of a pair must not be a jump target (the pair would then be
+// entered mid-window); the first may be — the fused op performs the same
+// work the plain op did at that pc.
+func fusePeepholes(f *Func, ch *Chunk) {
+	targets := jumpTargets(ch)
+	code := ch.Code
+	changed := false
+	for pc := 0; pc+1 < len(code); pc++ {
+		ins, next := code[pc], code[pc+1]
+		if targets[pc+1] {
+			continue
+		}
+		switch {
+		// compare + conditional branch → OpCmpJump.
+		case isCompare(ins.Op) && (next.Op == OpJumpIfFalse || next.Op == OpJumpIfTrue):
+			sense := int32(0)
+			if next.Op == OpJumpIfTrue {
+				sense = 1
+			}
+			code[pc] = Instr{Op: OpCmpJump, A: next.A, B: int32(ins.Op), C: sense}
+			code[pc+1] = Instr{Op: OpNop}
+			changed = true
+		// const load + arithmetic → OpArithConst.
+		case ins.Op == OpConst && isArith(next.Op):
+			code[pc] = Instr{Op: OpArithConst, A: ins.A, B: int32(next.Op)}
+			code[pc+1] = Instr{Op: OpNop}
+			changed = true
+		}
+	}
+	if changed {
+		compact(ch)
+	}
+}
+
+// compact removes OpNop placeholders and remaps every jump target across
+// the deletion. A target equal to len(code) (a jump to the chunk end) maps
+// to the new end.
+func compact(ch *Chunk) {
+	code := ch.Code
+	remap := make([]int32, len(code)+1)
+	n := int32(0)
+	for i, ins := range code {
+		remap[i] = n
+		if ins.Op != OpNop {
+			n++
+		}
+	}
+	remap[len(code)] = n
+
+	newCode := make([]Instr, 0, n)
+	newPos := ch.Pos[:0:0]
+	for i, ins := range code {
+		if ins.Op == OpNop {
+			continue
+		}
+		switch ins.Op {
+		case OpJump, OpJumpIfFalse, OpJumpIfTrue, OpCmpJump:
+			ins.A = remap[ins.A]
+		case OpForIter:
+			ins.B = remap[ins.B]
+		}
+		newCode = append(newCode, ins)
+		newPos = append(newPos, ch.Pos[i])
+	}
+	ch.Code = newCode
+	ch.Pos = newPos
+}

@@ -1,0 +1,170 @@
+package bytecode
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+func optimizeSrc(t *testing.T, src string, level int) *Program {
+	t.Helper()
+	return Optimize(compileSrc(t, src), level)
+}
+
+// checkTargets asserts every jump target is inside the chunk (or exactly
+// its end) — the invariant compact() must maintain.
+func checkTargets(t *testing.T, bc *Program) {
+	t.Helper()
+	for fi, f := range bc.Funcs {
+		for ci, ch := range f.Chunks {
+			n := int32(len(ch.Code))
+			for pc, ins := range ch.Code {
+				bad := func(a int32) bool { return a < 0 || a > n }
+				switch ins.Op {
+				case OpJump, OpJumpIfFalse, OpJumpIfTrue, OpCmpJump:
+					if bad(ins.A) {
+						t.Errorf("func %d chunk %d pc %d: %s target %d out of [0,%d]", fi, ci, pc, ins.Op, ins.A, n)
+					}
+				case OpForIter:
+					if bad(ins.B) {
+						t.Errorf("func %d chunk %d pc %d: foriter target %d out of [0,%d]", fi, ci, pc, ins.B, n)
+					}
+				}
+			}
+			if len(ch.Pos) != len(ch.Code) {
+				t.Errorf("func %d chunk %d: pos table length %d != code length %d", fi, ci, len(ch.Pos), len(ch.Code))
+			}
+		}
+	}
+}
+
+func TestFoldConstantExpression(t *testing.T) {
+	// 2 + 3 * 4 - 5 must collapse to one constant push at O1.
+	bc := optimizeSrc(t, "def main():\n    print(2 + 3 * 4 - 5)\n", O1)
+	ch := bc.Funcs[bc.MainIndex].Chunks[0]
+	for _, op := range []Op{OpAdd, OpSub, OpMul} {
+		if n := countOps(ch, op); n != 0 {
+			t.Errorf("%d %s instruction(s) survive folding", n, op)
+		}
+	}
+	found := false
+	for _, ins := range ch.Code {
+		if ins.Op == OpConst && value.Equal(bc.Funcs[bc.MainIndex].Consts[ins.A], value.NewInt(9)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no OpConst 9 in folded chunk:\n%s", Disassemble(bc.Funcs[bc.MainIndex]))
+	}
+	checkTargets(t, bc)
+}
+
+func TestFoldUnaryAndBool(t *testing.T) {
+	bc := optimizeSrc(t, "def main():\n    print(- -7, not false, 1.0 + 1)\n", O1)
+	ch := bc.Funcs[bc.MainIndex].Chunks[0]
+	for _, op := range []Op{OpNeg, OpNot, OpToReal, OpAdd} {
+		if n := countOps(ch, op); n != 0 {
+			t.Errorf("%d %s instruction(s) survive folding", n, op)
+		}
+	}
+	checkTargets(t, bc)
+}
+
+func TestWhileTrueBecomesPlainLoop(t *testing.T) {
+	// `while true:` compiles to push-true + jfalse per iteration; folding
+	// must remove both so the loop header is a single unconditional jump.
+	src := "def main():\n    i = 0\n    while true:\n        i += 1\n        if i > 3:\n            break\n    print(i)\n"
+	bc := optimizeSrc(t, src, O1)
+	ch := bc.Funcs[bc.MainIndex].Chunks[0]
+	if n := countOps(ch, OpTrue); n != 0 {
+		t.Errorf("%d true push(es) survive in while-true loop", n)
+	}
+	checkTargets(t, bc)
+}
+
+func TestDeadCodeAfterReturn(t *testing.T) {
+	// Both branches return, so the chunk-end fallthrough return path and
+	// any post-if code are unreachable.
+	src := "def f(x int) int:\n    if x > 0:\n        return 1\n    else:\n        return 2\n    print(\"unreachable\")\n\ndef main():\n    print(f(1))\n"
+	bc0 := compileSrc(t, src)
+	bc := optimizeSrc(t, src, O1)
+	n0 := len(bc0.Funcs[0].Chunks[0].Code)
+	n1 := len(bc.Funcs[0].Chunks[0].Code)
+	if n1 >= n0 {
+		t.Errorf("dead code not removed: %d -> %d instructions", n0, n1)
+	}
+	checkTargets(t, bc)
+}
+
+func TestFoldRefusesDivisionByZero(t *testing.T) {
+	// Constant division/modulo by zero must survive to run time so the
+	// program raises the positioned error, on ints and reals alike.
+	cases := []struct {
+		name, src string
+		op        Op
+	}{
+		{"int_div", "def main():\n    print(1 / 0)\n", OpDiv},
+		{"int_mod", "def main():\n    print(1 % 0)\n", OpMod},
+		{"real_div", "def main():\n    print(1.5 / 0.0)\n", OpDiv},
+		{"real_mod", "def main():\n    print(1.5 % 0.0)\n", OpMod},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			bc := optimizeSrc(t, c.src, O1)
+			ch := bc.Funcs[bc.MainIndex].Chunks[0]
+			if countOps(ch, c.op) == 0 {
+				t.Errorf("%s folded away; must raise at run time:\n%s", c.op, Disassemble(bc.Funcs[bc.MainIndex]))
+			}
+		})
+	}
+}
+
+func TestFusionOnlyAtO2(t *testing.T) {
+	src := "def main():\n    i = 0\n    while i < 10:\n        i += 1\n    print(i)\n"
+	bc1 := optimizeSrc(t, src, O1)
+	ch1 := bc1.Funcs[bc1.MainIndex].Chunks[0]
+	if countOps(ch1, OpCmpJump)+countOps(ch1, OpArithConst) != 0 {
+		t.Error("fused opcodes emitted at O1")
+	}
+	bc2 := optimizeSrc(t, src, O2)
+	ch2 := bc2.Funcs[bc2.MainIndex].Chunks[0]
+	if countOps(ch2, OpCmpJump) == 0 {
+		t.Errorf("no cmpjump at O2 for a compare-headed while loop:\n%s", Disassemble(bc2.Funcs[bc2.MainIndex]))
+	}
+	if countOps(ch2, OpArithConst) == 0 {
+		t.Errorf("no arithconst at O2 for i += 1:\n%s", Disassemble(bc2.Funcs[bc2.MainIndex]))
+	}
+	if len(ch2.Code) >= len(ch1.Code) {
+		t.Errorf("fusion did not shrink code: O1=%d O2=%d", len(ch1.Code), len(ch2.Code))
+	}
+	checkTargets(t, bc1)
+	checkTargets(t, bc2)
+}
+
+func TestO0IsIdentity(t *testing.T) {
+	src := "def main():\n    print(2 + 3)\n"
+	bc0 := compileSrc(t, src)
+	before := len(bc0.Funcs[bc0.MainIndex].Chunks[0].Code)
+	Optimize(bc0, O0)
+	if after := len(bc0.Funcs[bc0.MainIndex].Chunks[0].Code); after != before {
+		t.Errorf("O0 changed the code: %d -> %d instructions", before, after)
+	}
+}
+
+func TestOptimizeParallelChunks(t *testing.T) {
+	// Sub-chunks (parallel bodies) are optimized too, and OpParallel's
+	// chunk references are untouched by compaction (they index chunks, not
+	// pcs).
+	src := "def main():\n    a = 0\n    b = 0\n    parallel:\n        a = 2 + 3\n        b = 4 * 5\n    print(a + b)\n"
+	bc := optimizeSrc(t, src, O2)
+	f := bc.Funcs[bc.MainIndex]
+	if len(f.Chunks) < 3 {
+		t.Fatalf("expected parallel sub-chunks, got %d chunk(s)", len(f.Chunks))
+	}
+	for ci := 1; ci < len(f.Chunks); ci++ {
+		if n := countOps(f.Chunks[ci], OpAdd) + countOps(f.Chunks[ci], OpMul); n != 0 {
+			t.Errorf("chunk %d: %d unfolded arith op(s)", ci, n)
+		}
+	}
+	checkTargets(t, bc)
+}

@@ -218,3 +218,35 @@ func TestUsageErrors(t *testing.T) {
 		t.Error("missing file should exit 1 with a message")
 	}
 }
+
+func TestOptLevelFlag(t *testing.T) {
+	path := write(t, sumProgram)
+	// Identical output at every level, on the VM path.
+	var first string
+	for i, lvl := range []string{"0", "1", "2"} {
+		code, out, errOut := run(t, []string{"-vm", "-O", lvl, path}, "")
+		if code != 0 || errOut != "" {
+			t.Fatalf("-O %s: code=%d err=%q", lvl, code, errOut)
+		}
+		if i == 0 {
+			first = out
+		} else if out != first {
+			t.Errorf("-O %s output %q differs from -O 0 output %q", lvl, out, first)
+		}
+	}
+}
+
+func TestDisasmRespectsOptLevel(t *testing.T) {
+	path := write(t, "def main():\n    i = 0\n    while i < 10:\n        i += 1\n    print(i)\n")
+	_, raw, _ := run(t, []string{"-disasm", "-O", "0", path}, "")
+	_, opt, _ := run(t, []string{"-disasm", "-O", "2", path}, "")
+	if !strings.Contains(raw, "lt") || strings.Contains(raw, "cmpjump") {
+		t.Errorf("-O 0 disassembly should show raw compare, no fusion:\n%s", raw)
+	}
+	if !strings.Contains(opt, "cmpjump") {
+		t.Errorf("-O 2 disassembly missing fused cmpjump:\n%s", opt)
+	}
+	if len(opt) >= len(raw) {
+		t.Errorf("optimized disassembly not shorter: %d vs %d bytes", len(opt), len(raw))
+	}
+}

@@ -133,9 +133,20 @@ func RunProfiled(prog *ast.Program, cfg Config) ([]interp.ThreadWork, error) {
 	return in.WorkProfile(), err
 }
 
-// CompileBytecode lowers a checked program to bytecode for the VM backend.
+// CompileBytecode lowers a checked program to bytecode for the VM backend,
+// without optimization (bytecode exactly as the compiler emitted it).
 func CompileBytecode(prog *ast.Program) (*bytecode.Program, error) {
 	return bytecode.Compile(prog)
+}
+
+// CompileBytecodeOpt lowers a checked program to bytecode and runs the
+// optimizer at the given level (bytecode.O0, O1 or O2).
+func CompileBytecodeOpt(prog *ast.Program, level int) (*bytecode.Program, error) {
+	bc, err := bytecode.Compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	return bytecode.Optimize(bc, level), nil
 }
 
 // NewVM builds a configured VM for the compiled program. The VM backend
@@ -152,9 +163,15 @@ func NewVM(bc *bytecode.Program, cfg Config) *vm.VM {
 	})
 }
 
-// RunVM compiles the checked program to bytecode and executes it on the VM.
+// RunVM compiles the checked program to bytecode and executes it on the VM
+// at the default optimization level. Use RunVMOpt to choose a level.
 func RunVM(prog *ast.Program, cfg Config) error {
-	bc, err := CompileBytecode(prog)
+	return RunVMOpt(prog, cfg, bytecode.DefaultLevel)
+}
+
+// RunVMOpt is RunVM with an explicit optimization level.
+func RunVMOpt(prog *ast.Program, cfg Config, level int) error {
+	bc, err := CompileBytecodeOpt(prog, level)
 	if err != nil {
 		return err
 	}
@@ -163,7 +180,7 @@ func RunVM(prog *ast.Program, cfg Config) error {
 
 // CallVM invokes one function on the VM backend.
 func CallVM(prog *ast.Program, cfg Config, name string, args ...value.Value) (value.Value, error) {
-	bc, err := CompileBytecode(prog)
+	bc, err := CompileBytecodeOpt(prog, bytecode.DefaultLevel)
 	if err != nil {
 		return value.Value{}, err
 	}

@@ -294,6 +294,8 @@ func TestGeneratedRuntimeErrors(t *testing.T) {
 	cases := []struct{ name, src, substr string }{
 		{"bounds", "def main():\n    a = [1]\n    print(a[5])\n", "index 5 out of range"},
 		{"div_zero", "def main():\n    x = 0\n    print(1 / x)\n", "division by zero"},
+		{"real_div_zero", "def main():\n    x = 0.0\n    print(1.5 / x)\n", "division by zero"},
+		{"real_mod_zero", "def main():\n    x = 0.0\n    print(1.5 % x)\n", "modulo by zero"},
 		{"return_in_lock_releases", `def f() int:
     lock m:
         return 1

@@ -424,6 +424,23 @@ func ModInt(a, b int64) int64 {
 // Mod is real modulo.
 func Mod(a, b float64) float64 { return math.Mod(a, b) }
 
+// DivReal is Tetra real division; like DivInt it raises on a zero divisor
+// so every backend reports the same runtime error instead of producing inf.
+func DivReal(a, b float64) float64 {
+	if b == 0 {
+		Raise("division by zero")
+	}
+	return a / b
+}
+
+// ModReal is Tetra real modulo with the modulo-by-zero runtime error.
+func ModReal(a, b float64) float64 {
+	if b == 0 {
+		Raise("modulo by zero")
+	}
+	return math.Mod(a, b)
+}
+
 // Eq is Tetra's == on any pair of same-typed values; arrays compare deeply.
 func Eq(a, b any) bool { return reflect.DeepEqual(a, b) }
 

@@ -1107,8 +1107,16 @@ func arith(op token.Kind, l, r value.Value, pos token.Pos) (value.Value, error) 
 	case token.STAR:
 		return value.NewReal(a * b), nil
 	case token.SLASH:
+		// Division by zero raises for reals just as it does for ints —
+		// a silent inf is a poor teacher (LANGUAGE.md §Numbers).
+		if b == 0 {
+			return value.Value{}, rtErr(pos, "division by zero")
+		}
 		return value.NewReal(a / b), nil
 	default:
+		if b == 0 {
+			return value.Value{}, rtErr(pos, "modulo by zero")
+		}
 		return value.NewReal(math.Mod(a, b)), nil
 	}
 }

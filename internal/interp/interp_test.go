@@ -386,6 +386,9 @@ func TestRuntimeErrors(t *testing.T) {
 	cases := []struct{ name, src, substr string }{
 		{"div_zero", "def main():\n    x = 0\n    print(1 / x)\n", "division by zero"},
 		{"mod_zero", "def main():\n    x = 0\n    print(1 % x)\n", "modulo by zero"},
+		{"real_div_zero", "def main():\n    x = 0.0\n    print(1.5 / x)\n", "division by zero"},
+		{"real_mod_zero", "def main():\n    x = 0.0\n    print(1.5 % x)\n", "modulo by zero"},
+		{"mixed_div_zero", "def main():\n    x = 0.0\n    print(3 / x)\n", "division by zero"},
 		{"index_oob", "def main():\n    a = [1]\n    print(a[5])\n", "out of range"},
 		{"index_below_neg_len", "def main():\n    a = [1]\n    i = -2\n    print(a[i])\n", "index -2 out of range"},
 		{"string_index_oob", "def main():\n    s = \"ab\"\n    print(s[9])\n", "out of range"},

@@ -311,6 +311,12 @@ func (p *parser) comparison() ast.Expr {
 	case token.EQ, token.NE, token.LT, token.LE, token.GT, token.GE:
 		op := p.next()
 		y := p.arith()
+		switch p.cur().Kind {
+		case token.EQ, token.NE, token.LT, token.LE, token.GT, token.GE:
+			// Without this check the second relop falls through to an
+			// unhelpful "expected X, found >" somewhere up the stack.
+			p.errorf("Tetra does not support chained comparisons like a %s b %s c; use \"and\" to combine two comparisons", op.Kind, p.cur().Kind)
+		}
 		return &ast.BinaryExpr{Op: op.Kind, OpPos: op.Pos, X: x, Y: y}
 	}
 	return x
@@ -369,6 +375,9 @@ func (p *parser) postfix() ast.Expr {
 		case token.LBRACKET:
 			lb := p.next()
 			idx := p.expr()
+			if p.at(token.COLON) {
+				p.errorf("Tetra does not support slice expressions; index one element at a time")
+			}
 			p.expect(token.RBRACKET, "to close index")
 			x = &ast.IndexExpr{X: x, Lbrack: lb.Pos, Index: idx}
 		default:

@@ -180,10 +180,42 @@ func TestPrecedence(t *testing.T) {
 }
 
 func TestComparisonNotChained(t *testing.T) {
-	// a < b < c must be a syntax error (comparison is non-associative).
-	_, err := Parse("t", "def main():\n    x = 1 < 2 < 3\n")
+	// a < b < c must be a syntax error (comparison is non-associative),
+	// and the error must say so rather than complain about the third
+	// operand.
+	_, err := Parse("t", "def main():\n    x = 10 > 2 > 1\n")
 	if err == nil {
-		t.Error("chained comparison accepted")
+		t.Fatal("chained comparison accepted")
+	}
+	if !strings.Contains(err.Error(), "chained comparisons") {
+		t.Errorf("error %q does not mention chained comparisons", err)
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	// Position should point at the second relop, not the end of line.
+	if perr.Pos.Line != 2 || perr.Pos.Col < 14 || perr.Pos.Col > 16 {
+		t.Errorf("error position = %v, want line 2 near the second >", perr.Pos)
+	}
+}
+
+func TestSliceExpressionDiagnostic(t *testing.T) {
+	// Python users will try a[0:2]; name the missing feature instead of a
+	// generic "expected ]".
+	_, err := Parse("t", "def main():\n    a = [1, 2, 3]\n    print(a[0:2])\n")
+	if err == nil {
+		t.Fatal("slice expression accepted")
+	}
+	if !strings.Contains(err.Error(), "slice expressions") {
+		t.Errorf("error %q does not mention slice expressions", err)
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if perr.Pos.Line != 3 {
+		t.Errorf("error position = %v, want line 3", perr.Pos)
 	}
 }
 
@@ -204,6 +236,8 @@ func TestSyntaxErrors(t *testing.T) {
 		{"def main():\n    return 1 2\n", "expected NEWLINE"},
 		{"def main():\n    x = [1, 2\n", "to close array literal"},
 		{"def main():\n    lock :\n        pass\n", "lock name"},
+		{"def main():\n    a = [1, 2]\n    x = a[0:1]\n", "slice expressions"},
+		{"def main():\n    x = 1 < 2 <= 3\n", "chained comparisons"},
 		{"def main():\n    x = (1 + 2\n", "expected )"},
 	}
 	for _, c := range cases {

@@ -334,6 +334,20 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 			}
 			push(v)
 
+		case bytecode.OpArithConst:
+			// Fused const+arith (optimizer): rhs comes from the pool.
+			l := pop()
+			v, err := arith(bytecode.Op(ins.B), l, f.fn.Consts[ins.A], ch.Pos[pc])
+			if err != nil {
+				return false, value.Value{}, err
+			}
+			if g != nil && v.K == value.Str {
+				if k := g.AddAlloc(int64(len(v.Str()))); k != guard.OK {
+					return false, value.Value{}, g.ErrAt(k, ch.Pos[pc].String())
+				}
+			}
+			push(v)
+
 		case bytecode.OpNeg:
 			v := pop()
 			if v.K == value.Int {
@@ -355,7 +369,7 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 		case bytecode.OpLt, bytecode.OpLe, bytecode.OpGt, bytecode.OpGe:
 			r := pop()
 			l := pop()
-			push(compare(ins.Op, l, r))
+			push(value.NewBool(cmpBool(ins.Op, l, r)))
 
 		case bytecode.OpJump:
 			// A backward jump is a loop back-edge: re-check the stop flag
@@ -365,11 +379,31 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 			}
 			pc = int(ins.A) - 1
 		case bytecode.OpJumpIfFalse:
+			// Jump threading can turn conditional jumps into back-edges, so
+			// taken backward branches re-check the stop flag too.
 			if !pop().Bool() {
+				if int(ins.A) <= pc && t.vm.stopped.Load() {
+					return false, value.Value{}, errStopped
+				}
 				pc = int(ins.A) - 1
 			}
 		case bytecode.OpJumpIfTrue:
 			if pop().Bool() {
+				if int(ins.A) <= pc && t.vm.stopped.Load() {
+					return false, value.Value{}, errStopped
+				}
+				pc = int(ins.A) - 1
+			}
+
+		case bytecode.OpCmpJump:
+			// Fused compare+branch (optimizer): jump when the comparison
+			// matches the recorded sense.
+			r := pop()
+			l := pop()
+			if cmpBool(bytecode.Op(ins.B), l, r) == (ins.C != 0) {
+				if int(ins.A) <= pc && t.vm.stopped.Load() {
+					return false, value.Value{}, errStopped
+				}
 				pc = int(ins.A) - 1
 			}
 
@@ -620,6 +654,13 @@ func builtinReturns(id int) bool {
 
 func arith(op bytecode.Op, l, r value.Value, pos token.Pos) (value.Value, error) {
 	if l.K == value.Str {
+		// Only + concatenates; any other opcode reaching here is a
+		// compiler or optimizer bug, not a user error — fail loudly
+		// instead of silently concatenating (matching interp/gort, where
+		// the checker rules non-+ string arithmetic out statically).
+		if op != bytecode.OpAdd {
+			return value.Value{}, rtErr(pos, "internal: %s applied to string operands", op)
+		}
 		return value.NewString(l.Str() + r.Str()), nil
 	}
 	if l.K == value.Int && r.K == value.Int {
@@ -652,13 +693,30 @@ func arith(op bytecode.Op, l, r value.Value, pos token.Pos) (value.Value, error)
 	case bytecode.OpMul:
 		return value.NewReal(a * b), nil
 	case bytecode.OpDiv:
+		// Real division by zero raises like integer division does —
+		// uniform, explainable error semantics on every backend instead
+		// of a silent inf (LANGUAGE.md §Numbers).
+		if b == 0 {
+			return value.Value{}, rtErr(pos, "division by zero")
+		}
 		return value.NewReal(a / b), nil
 	default:
+		if b == 0 {
+			return value.Value{}, rtErr(pos, "modulo by zero")
+		}
 		return value.NewReal(math.Mod(a, b)), nil
 	}
 }
 
-func compare(op bytecode.Op, l, r value.Value) value.Value {
+// cmpBool evaluates any of the six comparison opcodes to a Go bool; shared
+// by the plain compare opcodes and the fused OpCmpJump.
+func cmpBool(op bytecode.Op, l, r value.Value) bool {
+	switch op {
+	case bytecode.OpEq:
+		return value.Equal(l, r)
+	case bytecode.OpNe:
+		return !value.Equal(l, r)
+	}
 	var cmp int
 	if l.K == value.Str {
 		switch {
@@ -686,12 +744,12 @@ func compare(op bytecode.Op, l, r value.Value) value.Value {
 	}
 	switch op {
 	case bytecode.OpLt:
-		return value.NewBool(cmp < 0)
+		return cmp < 0
 	case bytecode.OpLe:
-		return value.NewBool(cmp <= 0)
+		return cmp <= 0
 	case bytecode.OpGt:
-		return value.NewBool(cmp > 0)
+		return cmp > 0
 	default:
-		return value.NewBool(cmp >= 0)
+		return cmp >= 0
 	}
 }

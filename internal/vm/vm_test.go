@@ -67,47 +67,47 @@ func differential(t *testing.T, src, input string) string {
 	return vOut
 }
 
-// TestDifferentialCorpus runs a broad corpus through both backends.
-func TestDifferentialCorpus(t *testing.T) {
-	corpus := []struct{ name, src, input string }{
-		{"arith", "def main():\n    print(2 + 3 * 4 - 5 / 2 % 3)\n", ""},
-		{"real_arith", "def main():\n    print(1.5 * 2 + 1 / 4.0 - 0.75)\n", ""},
-		{"mixed_div", "def main():\n    print(7 / 2, \" \", 7.0 / 2, \" \", 7 % 4, \" \", 7.5 % 2)\n", ""},
-		{"strings", "def main():\n    s = \"ab\" + \"cd\"\n    print(s, s[1], len(s), s == \"abcd\", s < \"b\")\n", ""},
-		{"bools", "def main():\n    print(true and not false or 1 > 2)\n", ""},
-		{"compare_all", "def main():\n    print(1 < 2, 2 <= 2, 3 > 4, 4 >= 4, 5 == 5, 6 != 6)\n", ""},
-		{"unary", "def main():\n    print(-5, - -5, -2.5, not true)\n", ""},
-		{"vars", "def main():\n    x = 1\n    y = x + 2\n    x = y * x\n    print(x, y)\n", ""},
-		{"aug", "def main():\n    x = 10\n    x += 1\n    x -= 2\n    x *= 3\n    x /= 2\n    x %= 6\n    print(x)\n", ""},
-		{"if", "def main():\n    x = 5\n    if x > 3:\n        print(\"big\")\n    else:\n        print(\"small\")\n", ""},
-		{"elif", "def f(x int) string:\n    if x == 1:\n        return \"a\"\n    elif x == 2:\n        return \"b\"\n    else:\n        return \"c\"\n\ndef main():\n    print(f(1), f(2), f(3))\n", ""},
-		{"while", "def main():\n    i = 0\n    s = 0\n    while i < 100:\n        s += i\n        i += 1\n    print(s)\n", ""},
-		{"break_continue", "def main():\n    s = 0\n    i = 0\n    while true:\n        i += 1\n        if i > 20:\n            break\n        if i % 3 == 0:\n            continue\n        s += i\n    print(s)\n", ""},
-		{"for_array", "def main():\n    s = 0\n    for x in [5, 10, 15]:\n        s += x\n    print(s)\n", ""},
-		{"for_range", "def main():\n    s = 0\n    for x in [1 .. 50]:\n        s += x\n    print(s)\n", ""},
-		{"for_string", "def main():\n    for c in \"xyz\":\n        print(c)\n", ""},
-		{"for_break", "def main():\n    for x in [1 .. 10]:\n        if x > 3:\n            break\n        print(x)\n", ""},
-		{"for_continue", "def main():\n    for x in [1 .. 6]:\n        if x % 2 == 0:\n            continue\n        print(x)\n", ""},
-		{"nested_for", "def main():\n    for i in [1 .. 3]:\n        for j in [1 .. 3]:\n            if i == j:\n                continue\n            print(i, j)\n", ""},
-		{"arrays", "def main():\n    a = [1, 2, 3]\n    a[1] = 20\n    a[2] += 5\n    print(a, len(a))\n", ""},
-		{"matrix", "def main():\n    m = [[1, 2], [3, 4]]\n    m[0][1] = 9\n    print(m[0][1] + m[1][0])\n", ""},
-		{"array_eq", "def main():\n    print([1, 2] == [1, 2], [1] != [2])\n", ""},
-		{"recursion", "def fib(n int) int:\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\n\ndef main():\n    print(fib(12))\n", ""},
-		{"mutual", "def even(n int) bool:\n    if n == 0:\n        return true\n    return odd(n - 1)\n\ndef odd(n int) bool:\n    if n == 0:\n        return false\n    return even(n - 1)\n\ndef main():\n    print(even(8), odd(8))\n", ""},
-		{"void_call", "def show(x int):\n    print(x)\n\ndef main():\n    show(7)\n", ""},
-		{"fall_off", "def f() int:\n    pass\n\ndef main():\n    print(f())\n", ""},
-		{"widening", "def h(x real) real:\n    return x / 2\n\ndef main():\n    r = 1.5\n    r = 3\n    print(r, h(7))\n", ""},
-		{"widen_array", "def main():\n    a = [1.0, 2]\n    a[0] = 5\n    print(a)\n", ""},
-		{"widen_return", "def f() real:\n    return 3\n\ndef main():\n    print(f())\n", ""},
-		{"short_circuit", "def boom() bool:\n    print(\"x\")\n    return true\n\ndef main():\n    a = false and boom()\n    b = true or boom()\n    print(a, b)\n", ""},
-		{"builtins", "def main():\n    print(sqrt(25), abs(-2), min(3, 1), max(2.5, 9), floor(3.7), ceil(3.2))\n", ""},
-		{"string_builtins", "def main():\n    print(to_upper(\"ab\"), find(\"hello\", \"ll\"), substring(\"abcdef\", 1, 4))\n", ""},
-		{"sort_join", "def main():\n    print(sort([3, 1, 2]), join([\"a\", \"b\"], \"-\"))\n", ""},
-		{"push", "def main():\n    a = [1]\n    push(a, 2)\n    print(a)\n", ""},
-		{"range_builtin", "def main():\n    print(range(3), range(1, 4))\n", ""},
-		{"io", "def main():\n    n = read_int()\n    print(n * n)\n", "12\n"},
-		{"figure1", "def fact(x int) int:\n    if x == 0:\n        return 1\n    else:\n        return x * fact(x - 1)\n\ndef main():\n    n = read_int()\n    print(n, \"! = \", fact(n))\n", "10\n"},
-		{"parallel_sum", `def sumr(nums [int], a int, b int) int:
+// differentialCorpus is a broad program corpus shared by the
+// interp-vs-VM differential test and the optimizer differential test.
+var differentialCorpus = []struct{ name, src, input string }{
+	{"arith", "def main():\n    print(2 + 3 * 4 - 5 / 2 % 3)\n", ""},
+	{"real_arith", "def main():\n    print(1.5 * 2 + 1 / 4.0 - 0.75)\n", ""},
+	{"mixed_div", "def main():\n    print(7 / 2, \" \", 7.0 / 2, \" \", 7 % 4, \" \", 7.5 % 2)\n", ""},
+	{"strings", "def main():\n    s = \"ab\" + \"cd\"\n    print(s, s[1], len(s), s == \"abcd\", s < \"b\")\n", ""},
+	{"bools", "def main():\n    print(true and not false or 1 > 2)\n", ""},
+	{"compare_all", "def main():\n    print(1 < 2, 2 <= 2, 3 > 4, 4 >= 4, 5 == 5, 6 != 6)\n", ""},
+	{"unary", "def main():\n    print(-5, - -5, -2.5, not true)\n", ""},
+	{"vars", "def main():\n    x = 1\n    y = x + 2\n    x = y * x\n    print(x, y)\n", ""},
+	{"aug", "def main():\n    x = 10\n    x += 1\n    x -= 2\n    x *= 3\n    x /= 2\n    x %= 6\n    print(x)\n", ""},
+	{"if", "def main():\n    x = 5\n    if x > 3:\n        print(\"big\")\n    else:\n        print(\"small\")\n", ""},
+	{"elif", "def f(x int) string:\n    if x == 1:\n        return \"a\"\n    elif x == 2:\n        return \"b\"\n    else:\n        return \"c\"\n\ndef main():\n    print(f(1), f(2), f(3))\n", ""},
+	{"while", "def main():\n    i = 0\n    s = 0\n    while i < 100:\n        s += i\n        i += 1\n    print(s)\n", ""},
+	{"break_continue", "def main():\n    s = 0\n    i = 0\n    while true:\n        i += 1\n        if i > 20:\n            break\n        if i % 3 == 0:\n            continue\n        s += i\n    print(s)\n", ""},
+	{"for_array", "def main():\n    s = 0\n    for x in [5, 10, 15]:\n        s += x\n    print(s)\n", ""},
+	{"for_range", "def main():\n    s = 0\n    for x in [1 .. 50]:\n        s += x\n    print(s)\n", ""},
+	{"for_string", "def main():\n    for c in \"xyz\":\n        print(c)\n", ""},
+	{"for_break", "def main():\n    for x in [1 .. 10]:\n        if x > 3:\n            break\n        print(x)\n", ""},
+	{"for_continue", "def main():\n    for x in [1 .. 6]:\n        if x % 2 == 0:\n            continue\n        print(x)\n", ""},
+	{"nested_for", "def main():\n    for i in [1 .. 3]:\n        for j in [1 .. 3]:\n            if i == j:\n                continue\n            print(i, j)\n", ""},
+	{"arrays", "def main():\n    a = [1, 2, 3]\n    a[1] = 20\n    a[2] += 5\n    print(a, len(a))\n", ""},
+	{"matrix", "def main():\n    m = [[1, 2], [3, 4]]\n    m[0][1] = 9\n    print(m[0][1] + m[1][0])\n", ""},
+	{"array_eq", "def main():\n    print([1, 2] == [1, 2], [1] != [2])\n", ""},
+	{"recursion", "def fib(n int) int:\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\n\ndef main():\n    print(fib(12))\n", ""},
+	{"mutual", "def even(n int) bool:\n    if n == 0:\n        return true\n    return odd(n - 1)\n\ndef odd(n int) bool:\n    if n == 0:\n        return false\n    return even(n - 1)\n\ndef main():\n    print(even(8), odd(8))\n", ""},
+	{"void_call", "def show(x int):\n    print(x)\n\ndef main():\n    show(7)\n", ""},
+	{"fall_off", "def f() int:\n    pass\n\ndef main():\n    print(f())\n", ""},
+	{"widening", "def h(x real) real:\n    return x / 2\n\ndef main():\n    r = 1.5\n    r = 3\n    print(r, h(7))\n", ""},
+	{"widen_array", "def main():\n    a = [1.0, 2]\n    a[0] = 5\n    print(a)\n", ""},
+	{"widen_return", "def f() real:\n    return 3\n\ndef main():\n    print(f())\n", ""},
+	{"short_circuit", "def boom() bool:\n    print(\"x\")\n    return true\n\ndef main():\n    a = false and boom()\n    b = true or boom()\n    print(a, b)\n", ""},
+	{"builtins", "def main():\n    print(sqrt(25), abs(-2), min(3, 1), max(2.5, 9), floor(3.7), ceil(3.2))\n", ""},
+	{"string_builtins", "def main():\n    print(to_upper(\"ab\"), find(\"hello\", \"ll\"), substring(\"abcdef\", 1, 4))\n", ""},
+	{"sort_join", "def main():\n    print(sort([3, 1, 2]), join([\"a\", \"b\"], \"-\"))\n", ""},
+	{"push", "def main():\n    a = [1]\n    push(a, 2)\n    print(a)\n", ""},
+	{"range_builtin", "def main():\n    print(range(3), range(1, 4))\n", ""},
+	{"io", "def main():\n    n = read_int()\n    print(n * n)\n", "12\n"},
+	{"figure1", "def fact(x int) int:\n    if x == 0:\n        return 1\n    else:\n        return x * fact(x - 1)\n\ndef main():\n    n = read_int()\n    print(n, \"! = \", fact(n))\n", "10\n"},
+	{"parallel_sum", `def sumr(nums [int], a int, b int) int:
     total = 0
     i = a
     while i <= b:
@@ -125,7 +125,7 @@ def sum(nums [int]) int:
 def main():
     print(sum([1 .. 100]))
 `, ""},
-		{"parallel_max", `def max(nums [int]) int:
+	{"parallel_max", `def max(nums [int]) int:
     largest = 0
     parallel for num in nums:
         if num > largest:
@@ -137,7 +137,7 @@ def main():
 def main():
     print(max([18, 32, 96, 48, 60]))
 `, ""},
-		{"parallel_disjoint", `def sq(x int) int:
+	{"parallel_disjoint", `def sq(x int) int:
     return x * x
 
 def main():
@@ -147,15 +147,15 @@ def main():
         out[i] = sq(i)
     print(out[29])
 `, ""},
-		{"background", "def main():\n    background:\n        print(\"bg\")\n    sleep(1)\n", ""},
-		{"lock_counter", `def main():
+	{"background", "def main():\n    background:\n        print(\"bg\")\n    sleep(1)\n", ""},
+	{"lock_counter", `def main():
     count = 0
     parallel for i in range(20):
         lock c:
             count += 1
     print(count)
 `, ""},
-		{"nested_parallel", `def inner(k int) int:
+	{"nested_parallel", `def inner(k int) int:
     parallel:
         a = k + 1
         b = k + 2
@@ -167,8 +167,11 @@ def main():
         y = inner(10)
     print(x + y)
 `, ""},
-	}
-	for _, c := range corpus {
+}
+
+// TestDifferentialCorpus runs the corpus through both backends.
+func TestDifferentialCorpus(t *testing.T) {
+	for _, c := range differentialCorpus {
 		t.Run(c.name, func(t *testing.T) {
 			differential(t, c.src, c.input)
 		})
@@ -320,5 +323,92 @@ func TestDisassembleSmoke(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("disassembly missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// runVMOpt executes src on the VM with the bytecode optimized at the given
+// level.
+func runVMOpt(t *testing.T, src, input string, level int) (string, error) {
+	t.Helper()
+	_, bc := compileBoth(t, src)
+	bytecode.Optimize(bc, level)
+	var out bytes.Buffer
+	m := New(bc, Options{Env: stdlib.NewEnv(strings.NewReader(input), &out)})
+	err := m.Run()
+	return out.String(), err
+}
+
+// TestOptimizerDifferentialCorpus is the optimizer's main safety net: every
+// corpus program must produce byte-identical output (and agree on
+// success) at -O0, -O1 and -O2.
+func TestOptimizerDifferentialCorpus(t *testing.T) {
+	for _, c := range differentialCorpus {
+		t.Run(c.name, func(t *testing.T) {
+			o0, err0 := runVMOpt(t, c.src, c.input, bytecode.O0)
+			for _, level := range []int{bytecode.O1, bytecode.O2} {
+				oN, errN := runVMOpt(t, c.src, c.input, level)
+				if (err0 == nil) != (errN == nil) {
+					t.Fatalf("error disagreement at O%d: O0=%v O%d=%v", level, err0, level, errN)
+				}
+				if o0 != oN {
+					t.Fatalf("output disagreement at O%d:\nO0: %q\nO%d: %q", level, o0, level, oN)
+				}
+			}
+		})
+	}
+}
+
+// TestRealZeroDivisionVM pins the unified arithmetic error semantics: real
+// division and modulo by zero raise the same errors as their integer
+// counterparts, at every optimization level (the folder must refuse to
+// fold them away).
+func TestRealZeroDivisionVM(t *testing.T) {
+	cases := []struct{ name, src, substr string }{
+		{"real_div_var", "def main():\n    x = 0.0\n    print(1.5 / x)\n", "division by zero"},
+		{"real_mod_var", "def main():\n    x = 0.0\n    print(1.5 % x)\n", "modulo by zero"},
+		{"real_div_const", "def main():\n    print(1.5 / 0.0)\n", "division by zero"},
+		{"real_mod_const", "def main():\n    print(1.5 % 0.0)\n", "modulo by zero"},
+		{"mixed_div_const", "def main():\n    print(3 / 0.0)\n", "division by zero"},
+		{"int_div_const", "def main():\n    print(1 / 0)\n", "division by zero"},
+		{"int_mod_const", "def main():\n    print(1 % 0)\n", "modulo by zero"},
+	}
+	for _, c := range cases {
+		for _, level := range []int{bytecode.O0, bytecode.O2} {
+			t.Run(fmt.Sprintf("%s_O%d", c.name, level), func(t *testing.T) {
+				_, err := runVMOpt(t, c.src, "", level)
+				if err == nil || !strings.Contains(err.Error(), c.substr) {
+					t.Errorf("err = %v, want substring %q", err, c.substr)
+				}
+			})
+		}
+	}
+}
+
+// TestOptimizerShrinksCode sanity-checks that optimization actually does
+// something on a constant-heavy program, and that fused opcodes appear
+// only at O2.
+func TestOptimizerShrinksCode(t *testing.T) {
+	src := "def main():\n    i = 0\n    s = 0\n    while i < 1000:\n        s += 2 * 3 + 4\n        i += 1\n    print(s)\n"
+	_, bc0 := compileBoth(t, src)
+	_, bc2 := compileBoth(t, src)
+	bytecode.Optimize(bc2, bytecode.O2)
+	n0 := len(bc0.Funcs[0].Chunks[0].Code)
+	n2 := len(bc2.Funcs[0].Chunks[0].Code)
+	if n2 >= n0 {
+		t.Errorf("O2 code length %d, want < O0 length %d", n2, n0)
+	}
+	fused := false
+	for _, ins := range bc2.Funcs[0].Chunks[0].Code {
+		if ins.Op == bytecode.OpCmpJump || ins.Op == bytecode.OpArithConst {
+			fused = true
+		}
+	}
+	if !fused {
+		t.Error("O2 bytecode contains no fused opcodes for a compare-and-add loop")
+	}
+	out0, err0 := runVMOpt(t, src, "", bytecode.O0)
+	out2, err2 := runVMOpt(t, src, "", bytecode.O2)
+	if err0 != nil || err2 != nil || out0 != out2 {
+		t.Errorf("outputs disagree: O0=%q (%v) O2=%q (%v)", out0, err0, out2, err2)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"io"
 
 	"repro/internal/ast"
+	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/internal/guard"
 	"repro/internal/interp"
@@ -103,16 +104,84 @@ func SandboxLimits() Limits { return Limits{}.WithSandboxDefaults() }
 // Program is a compiled (parsed and type-checked) Tetra program.
 type Program struct {
 	prog *ast.Program
+
+	// Set by CompileWithOptions; zero values select the defaults.
+	optLevel int
+	cache    *CompileCache
+	file     string
+	src      string
+}
+
+// Optimization levels for CompileOptions.OptLevel. The zero value is full
+// optimization, so a zero CompileOptions does the right thing; pass
+// OptNone to execute exactly the bytecode the compiler emitted (useful for
+// differential testing and for debugging the optimizer itself).
+const (
+	OptFull = 0  // full optimization (constant folding, jump threading, DCE, fusion)
+	OptNone = -1 // optimizer disabled
+)
+
+// CompileCache memoizes parse, check and bytecode compilation across
+// Compile calls, keyed by a content hash of the file name and source.
+// Safe for concurrent use; see NewCompileCache.
+type CompileCache = core.CompileCache
+
+// CacheStats is the hit/miss report from CompileCache.Stats.
+type CacheStats = core.CacheStats
+
+// NewCompileCache returns a compile cache holding at most maxEntries
+// programs (<= 0 selects a default bound). Share one cache across
+// CompileWithOptions calls to skip recompiling sources already seen.
+func NewCompileCache(maxEntries int) *CompileCache {
+	return core.NewCompileCache(maxEntries)
+}
+
+// CompileOptions configures CompileWithOptions. The zero value matches
+// plain Compile: full optimization, no cache.
+type CompileOptions struct {
+	// OptLevel selects how hard RunVM optimizes the bytecode: OptFull (the
+	// zero value), OptNone, or an explicit level 1 or 2.
+	OptLevel int
+	// Cache, when non-nil, memoizes compilation by source content hash;
+	// recompiling an already-seen source becomes a map lookup.
+	Cache *CompileCache
+}
+
+// bytecodeLevel maps the public OptLevel convention onto the internal
+// optimizer levels.
+func bytecodeLevel(opt int) int {
+	switch {
+	case opt == OptFull:
+		return bytecode.DefaultLevel
+	case opt < 0:
+		return bytecode.O0
+	case opt > bytecode.O2:
+		return bytecode.O2
+	default:
+		return opt
+	}
 }
 
 // Compile parses and type-checks Tetra source code. The file name is used
 // in error messages and positions only.
 func Compile(file, src string) (*Program, error) {
-	p, err := core.Compile(file, src)
+	return CompileWithOptions(file, src, CompileOptions{})
+}
+
+// CompileWithOptions is Compile with an optimization level and an optional
+// compile cache.
+func CompileWithOptions(file, src string, opts CompileOptions) (*Program, error) {
+	var p *ast.Program
+	var err error
+	if opts.Cache != nil {
+		p, err = opts.Cache.Compile(file, src)
+	} else {
+		p, err = core.Compile(file, src)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &Program{prog: p}, nil
+	return &Program{prog: p, optLevel: opts.OptLevel, cache: opts.Cache, file: file, src: src}, nil
 }
 
 // CompileFile reads and compiles a Tetra source file.
@@ -128,9 +197,26 @@ func CompileFile(path string) (*Program, error) {
 // (the debugger and bytecode compiler use it).
 func (p *Program) AST() *ast.Program { return p.prog }
 
-// Run executes the program's main function.
+// Run executes the program's main function on the tree-walking
+// interpreter — the debuggable path, honouring Tracer and Step.
 func (p *Program) Run(cfg Config) error {
 	return core.Run(p.prog, coreConfig(cfg))
+}
+
+// RunVM executes the program's main function on the bytecode VM — the
+// fast path — at the optimization level the program was compiled with.
+// Tracer and Step are ignored on this backend. When the program was
+// compiled through a cache, the compiled bytecode is reused across calls.
+func (p *Program) RunVM(cfg Config) error {
+	level := bytecodeLevel(p.optLevel)
+	if p.cache != nil && p.file != "" {
+		bc, err := p.cache.CompileBytecode(p.file, p.src, level)
+		if err != nil {
+			return err
+		}
+		return core.NewVM(bc, coreConfig(cfg)).Run()
+	}
+	return core.RunVMOpt(p.prog, coreConfig(cfg), level)
 }
 
 // Call invokes a named function with the given argument values and returns

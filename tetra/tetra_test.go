@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/bytecode"
 	"repro/internal/core"
 	"repro/tetra"
 )
@@ -226,18 +227,21 @@ func TestGoldenCorpus(t *testing.T) {
 				t.Errorf("interp output:\n%s\nwant:\n%s", out.String(), want)
 			}
 
-			// Same program on the VM backend.
-			bc, err := core.CompileBytecode(prog.AST())
-			if err != nil {
-				t.Fatalf("bytecode: %v", err)
-			}
-			var vmOut bytes.Buffer
-			m := core.NewVM(bc, core.Config{Stdin: strings.NewReader(input), Stdout: &vmOut})
-			if err := m.Run(); err != nil {
-				t.Fatalf("vm run: %v", err)
-			}
-			if vmOut.String() != string(want) {
-				t.Errorf("vm output:\n%s\nwant:\n%s", vmOut.String(), want)
+			// Same program on the VM backend, unoptimized and fully
+			// optimized: both must match the golden byte-for-byte.
+			for _, level := range []int{bytecode.O0, bytecode.O2} {
+				bc, err := core.CompileBytecodeOpt(prog.AST(), level)
+				if err != nil {
+					t.Fatalf("bytecode at O%d: %v", level, err)
+				}
+				var vmOut bytes.Buffer
+				m := core.NewVM(bc, core.Config{Stdin: strings.NewReader(input), Stdout: &vmOut})
+				if err := m.Run(); err != nil {
+					t.Fatalf("vm run at O%d: %v", level, err)
+				}
+				if vmOut.String() != string(want) {
+					t.Errorf("vm output at O%d:\n%s\nwant:\n%s", level, vmOut.String(), want)
+				}
 			}
 		})
 	}
@@ -249,5 +253,87 @@ func TestGoldenCorpus(t *testing.T) {
 func TestCompileFileMissing(t *testing.T) {
 	if _, err := tetra.CompileFile("/nonexistent/path.ttr"); err == nil {
 		t.Error("expected error for missing file")
+	}
+}
+
+func TestCompileCache(t *testing.T) {
+	cache := tetra.NewCompileCache(0)
+	src := "def main():\n    print(6 * 7)\n"
+
+	p1, err := tetra.CompileWithOptions("cached.ttr", src, tetra.CompileOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := tetra.CompileWithOptions("cached.ttr", src, tetra.CompileOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.AST() != p2.AST() {
+		t.Error("second compile of identical source did not hit the cache")
+	}
+	stats := cache.Stats()
+	if stats.Hits == 0 || stats.Misses == 0 {
+		t.Errorf("stats = %+v, want at least one hit and one miss", stats)
+	}
+
+	// A different file name is a different program (positions differ).
+	p3, err := tetra.CompileWithOptions("other.ttr", src, tetra.CompileOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.AST() == p1.AST() {
+		t.Error("distinct file names share one cached program")
+	}
+
+	// Compile errors are reported, not cached.
+	if _, err := tetra.CompileWithOptions("bad.ttr", "def main(:\n", tetra.CompileOptions{Cache: cache}); err == nil {
+		t.Error("expected compile error")
+	}
+}
+
+func TestRunVMPublicAPI(t *testing.T) {
+	cache := tetra.NewCompileCache(0)
+	src := "def main():\n    s = 0\n    for x in [1 .. 10]:\n        s += x\n    print(s)\n"
+
+	for _, opt := range []int{tetra.OptFull, tetra.OptNone, 1, 2} {
+		prog, err := tetra.CompileWithOptions("vm.ttr", src, tetra.CompileOptions{OptLevel: opt, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := prog.RunVM(tetra.Config{Stdout: &out}); err != nil {
+			t.Fatalf("RunVM at opt %d: %v", opt, err)
+		}
+		if out.String() != "55\n" {
+			t.Errorf("RunVM at opt %d: output %q, want \"55\\n\"", opt, out.String())
+		}
+	}
+
+	// Repeated RunVM through the cache reuses the compiled bytecode.
+	prog, err := tetra.CompileWithOptions("vm.ttr", src, tetra.CompileOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cache.Stats()
+	var out bytes.Buffer
+	if err := prog.RunVM(tetra.Config{Stdout: &out}); err != nil {
+		t.Fatal(err)
+	}
+	after := cache.Stats()
+	if after.Hits <= before.Hits {
+		t.Errorf("RunVM did not hit the bytecode cache: before %+v after %+v", before, after)
+	}
+
+	// Without a cache, RunVM still works (compiles on each call).
+	plain, err := tetra.Compile("plain.ttr", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := plain.RunVM(tetra.Config{Stdout: &out}); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "55\n" {
+		t.Errorf("uncached RunVM output %q", out.String())
 	}
 }
