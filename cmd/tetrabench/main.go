@@ -44,7 +44,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, limits, scaling, opt, or all")
+	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, limits, scaling, opt, sem, or all")
 	limit := flag.Int("limit", 200000, "E1: count primes below this limit")
 	fullScale := flag.Bool("paper-scale", false, "E1: use the paper's full workload (first million primes ⇒ limit 15485864); slow on the interpreter")
 	n := flag.Int("n", 10, "E2: number of TSP cities")
@@ -82,6 +82,12 @@ func run() int {
 			outPath = "BENCH_opt.json"
 		}
 		return opt(*quick, *reps, outPath)
+	case "sem":
+		outPath := *out
+		if outPath == "BENCH_scaling.json" {
+			outPath = "BENCH_sem.json"
+		}
+		return semOverhead(*quick, *reps, outPath)
 	case "all":
 		if rc := primes(*limit, workers, *reps); rc != 0 {
 			return rc
@@ -229,6 +235,22 @@ func opt(quick bool, reps int, outPath string) int {
 	}
 	fmt.Print(bench.FormatOptTable(rep))
 	if err := bench.WriteOptJSON(outPath, rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("\nwrote %s\n", outPath)
+	return 0
+}
+
+func semOverhead(quick bool, reps int, outPath string) int {
+	fmt.Println("SEM: shared-semantics-core indirection cost on the hot binary-op path")
+	rep, err := bench.Sem(quick, reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	bench.PrintSemReport(rep)
+	if err := bench.WriteSemJSON(outPath, rep); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sem"
+	"repro/internal/value"
+)
+
+// The semantics-core experiment: what does routing every operator through
+// internal/sem cost on the hot binary-op path? Before the sem refactor
+// each backend inlined its own arithmetic switch; afterwards the VM (and
+// interpreter) make a function call into the shared kernel per operation.
+// This experiment measures that indirection two ways:
+//
+//   - kernel level: ns/op for an inlined arithmetic switch (the shape the
+//     VM used to contain, reproduced here as the measurement baseline)
+//     vs the same work through sem.Arith;
+//   - program level: ns per loop iteration for the arithmetic-loop
+//     workload on the VM, where each iteration executes several sem-routed
+//     operators, at O0 and O2.
+//
+// The acceptance bar is <5% end-to-end overhead; results are committed as
+// BENCH_sem.json alongside the code they measure.
+
+// SemKernelRow compares one operator's inlined baseline against the sem
+// kernel call.
+type SemKernelRow struct {
+	Op          string  `json:"op"`
+	InlineNSOp  float64 `json:"inline_ns_op"` // inlined switch (pre-refactor shape)
+	SemNSOp     float64 `json:"sem_ns_op"`    // through sem.Arith / sem.Compare
+	OverheadPct float64 `json:"overhead_pct"` // (sem - inline) / inline * 100
+}
+
+// SemVMRow is the end-to-end view: the arithmetic loop on the sem-routed
+// VM, normalized to ns per loop iteration.
+type SemVMRow struct {
+	Workload string  `json:"workload"`
+	Level    int     `json:"level"`
+	Iters    int     `json:"iters"`
+	WallNS   int64   `json:"wall_ns"`
+	NSPerIt  float64 `json:"ns_per_iter"`
+}
+
+// SemReport is the BENCH_sem.json document.
+type SemReport struct {
+	Experiment string         `json:"experiment"`
+	HostCores  int            `json:"host_cores"`
+	Quick      bool           `json:"quick"`
+	Kernel     []SemKernelRow `json:"kernel"`
+	VM         []SemVMRow     `json:"vm"`
+}
+
+// inlineArith reproduces the arithmetic switch the VM contained before
+// the sem refactor, as the baseline the kernel comparison measures
+// against. It exists only inside this experiment; the executable
+// semantics live in internal/sem (the guard test does not scan bench).
+func inlineArith(op sem.Op, l, r value.Value) (value.Value, bool) {
+	if l.K == value.Int && r.K == value.Int {
+		a, b := l.Int(), r.Int()
+		switch op {
+		case sem.Add:
+			return value.NewInt(a + b), true
+		case sem.Sub:
+			return value.NewInt(a - b), true
+		case sem.Mul:
+			return value.NewInt(a * b), true
+		case sem.Div:
+			if b == 0 {
+				return value.Value{}, false
+			}
+			return value.NewInt(a / b), true
+		default:
+			if b == 0 {
+				return value.Value{}, false
+			}
+			return value.NewInt(a % b), true
+		}
+	}
+	a, b := l.AsReal(), r.AsReal()
+	switch op {
+	case sem.Add:
+		return value.NewReal(a + b), true
+	case sem.Sub:
+		return value.NewReal(a - b), true
+	case sem.Mul:
+		return value.NewReal(a * b), true
+	case sem.Div:
+		if b == 0 {
+			return value.Value{}, false
+		}
+		return value.NewReal(a / b), true
+	default:
+		return value.NewReal(a), true
+	}
+}
+
+// semBinKernels are the operator/operand shapes measured at kernel level:
+// the int and real fast paths of the hottest operators.
+var semBinKernels = []struct {
+	name string
+	op   sem.Op
+	l, r value.Value
+}{
+	{"add_int", sem.Add, value.NewInt(7), value.NewInt(3)},
+	{"mul_int", sem.Mul, value.NewInt(7), value.NewInt(3)},
+	{"mod_int", sem.Mod, value.NewInt(1234567), value.NewInt(1000003)},
+	{"add_real", sem.Add, value.NewReal(1.5), value.NewReal(2.25)},
+	{"div_real", sem.Div, value.NewReal(7.5), value.NewReal(2.5)},
+}
+
+// sink defeats dead-code elimination of the measured loops.
+var sink value.Value
+
+// measureNSOp times f over iters calls, returning ns per call (best of 3).
+func measureNSOp(iters int, f func()) float64 {
+	best := time.Duration(1<<63 - 1)
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / float64(iters)
+}
+
+// Sem runs the semantics-core overhead experiment, returning the report
+// for BENCH_sem.json.
+func Sem(quick bool, reps int) (*SemReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	kiters := 20_000_000
+	loopIters := 2_000_000
+	if quick {
+		kiters = 2_000_000
+		loopIters = 100_000
+	}
+
+	rep := &SemReport{
+		Experiment: "sem",
+		HostCores:  runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+
+	// Kernel level: inlined switch vs sem.Arith on identical operands.
+	for _, k := range semBinKernels {
+		op, l, r := k.op, k.l, k.r
+		inline := measureNSOp(kiters, func() {
+			for i := 0; i < kiters; i++ {
+				v, _ := inlineArith(op, l, r)
+				sink = v
+			}
+		})
+		throughSem := measureNSOp(kiters, func() {
+			for i := 0; i < kiters; i++ {
+				v, _ := sem.Arith(op, l, r)
+				sink = v
+			}
+		})
+		row := SemKernelRow{Op: k.name, InlineNSOp: inline, SemNSOp: throughSem}
+		if inline > 0 {
+			row.OverheadPct = (throughSem - inline) / inline * 100
+		}
+		rep.Kernel = append(rep.Kernel, row)
+	}
+
+	// Program level: the arithmetic loop on the VM. Every iteration runs
+	// several sem-routed operators (compare, add, mul, mod), so ns/iter is
+	// the end-to-end cost of the sem-routed dispatch path.
+	src := ArithLoopSource(loopIters)
+	prog, err := core.Compile("sembench.ttr", src)
+	if err != nil {
+		return nil, err
+	}
+	for _, level := range []int{0, 2} {
+		bc, err := core.CompileBytecodeOpt(prog, level)
+		if err != nil {
+			return nil, err
+		}
+		best := time.Duration(1<<63 - 1)
+		for r := 0; r < reps; r++ {
+			var out bytes.Buffer
+			m := core.NewVM(bc, core.Config{Stdout: &out})
+			start := time.Now()
+			if err := m.Run(); err != nil {
+				return nil, err
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		rep.VM = append(rep.VM, SemVMRow{
+			Workload: "arithloop",
+			Level:    level,
+			Iters:    loopIters,
+			WallNS:   best.Nanoseconds(),
+			NSPerIt:  float64(best.Nanoseconds()) / float64(loopIters),
+		})
+	}
+	return rep, nil
+}
+
+// PrintSemReport renders the report as the console table tetrabench shows.
+func PrintSemReport(rep *SemReport) {
+	fmt.Println("semantics-core overhead (inlined switch vs sem kernel call):")
+	fmt.Printf("  %-10s %12s %12s %10s\n", "op", "inline ns", "sem ns", "overhead")
+	for _, k := range rep.Kernel {
+		fmt.Printf("  %-10s %12.2f %12.2f %9.1f%%\n", k.Op, k.InlineNSOp, k.SemNSOp, k.OverheadPct)
+	}
+	fmt.Println("\nVM arithmetic loop (every operator routed through sem):")
+	for _, v := range rep.VM {
+		fmt.Printf("  O%d: %8.1f ns/iter (%d iters, %.1f ms total)\n",
+			v.Level, v.NSPerIt, v.Iters, float64(v.WallNS)/1e6)
+	}
+}
+
+// WriteSemJSON writes the report, pretty-printed for diffable commits.
+func WriteSemJSON(path string, rep *SemReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

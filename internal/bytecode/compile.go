@@ -596,7 +596,9 @@ func (c *fnCompiler) binary(e *ast.BinaryExpr) error {
 	default:
 		return fmt.Errorf("bytecode: unsupported operator %s", e.Op)
 	}
-	c.emit(op, 0, 0, 0, e.Pos())
+	// Record the operator's position, not the expression start, so a
+	// runtime error (division by zero) points where the interpreter points.
+	c.emit(op, 0, 0, 0, e.OpPos)
 	return nil
 }
 

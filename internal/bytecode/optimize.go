@@ -6,11 +6,14 @@ package bytecode
 //
 //  1. constant folding    — Const/Const/op triples, unary ops on
 //                           constants, and branches on constant conditions
-//                           collapse at compile time. Folds mirror the
-//                           VM's arithmetic bit-for-bit and are refused
-//                           whenever the runtime would raise (division or
-//                           modulo by zero, on ints AND reals), so the
-//                           error surfaces at run time with its position.
+//                           collapse at compile time. Folds evaluate by
+//                           calling internal/sem — the same kernels the VM
+//                           dispatches to at run time, so compile-time and
+//                           run-time results are identical by construction
+//                           — and are refused whenever the runtime would
+//                           raise (division or modulo by zero, on ints AND
+//                           reals), so the error surfaces at run time with
+//                           its position.
 //  2. jump threading      — a jump whose target is another unconditional
 //                           jump is retargeted to the final destination,
 //                           so conditional exits of nested loops do not
@@ -30,8 +33,7 @@ package bytecode
 // step running the corpus at both levels).
 
 import (
-	"math"
-
+	"repro/internal/sem"
 	"repro/internal/value"
 )
 
@@ -122,117 +124,20 @@ func constInstr(f *Func, v value.Value) Instr {
 	return Instr{Op: OpConst, A: f.constIndex(v)}
 }
 
-// maxFoldedString caps compile-time string concatenation so pathological
-// constant expressions cannot balloon the constant pool.
-const maxFoldedString = 1 << 16
-
-// foldBinary evaluates l op r with the VM's exact semantics. ok is false
-// when the expression must be left for run time: division or modulo by
-// zero (int AND real — both raise, see internal/vm arith), non-constant
-// kinds, or oversized string concatenation.
-func foldBinary(op Op, l, r value.Value) (v value.Value, ok bool) {
-	switch op {
-	case OpEq:
-		return value.NewBool(value.Equal(l, r)), true
-	case OpNe:
-		return value.NewBool(!value.Equal(l, r)), true
-	case OpLt, OpLe, OpGt, OpGe:
-		return foldCompare(op, l, r)
-	}
-	if l.K == value.Str || r.K == value.Str {
-		if op == OpAdd && l.K == value.Str && r.K == value.Str {
-			if len(l.Str())+len(r.Str()) > maxFoldedString {
-				return value.Value{}, false
-			}
-			return value.NewString(l.Str() + r.Str()), true
-		}
-		return value.Value{}, false
-	}
-	if l.K == value.Int && r.K == value.Int {
-		a, b := l.Int(), r.Int()
-		switch op {
-		case OpAdd:
-			return value.NewInt(a + b), true
-		case OpSub:
-			return value.NewInt(a - b), true
-		case OpMul:
-			return value.NewInt(a * b), true
-		case OpDiv:
-			if b == 0 {
-				return value.Value{}, false
-			}
-			return value.NewInt(a / b), true
-		case OpMod:
-			if b == 0 {
-				return value.Value{}, false
-			}
-			return value.NewInt(a % b), true
-		}
-		return value.Value{}, false
-	}
-	if (l.K == value.Int || l.K == value.Real) && (r.K == value.Int || r.K == value.Real) {
-		a, b := l.AsReal(), r.AsReal()
-		switch op {
-		case OpAdd:
-			return value.NewReal(a + b), true
-		case OpSub:
-			return value.NewReal(a - b), true
-		case OpMul:
-			return value.NewReal(a * b), true
-		case OpDiv:
-			if b == 0 {
-				return value.Value{}, false
-			}
-			return value.NewReal(a / b), true
-		case OpMod:
-			if b == 0 {
-				return value.Value{}, false
-			}
-			return value.NewReal(math.Mod(a, b)), true
-		}
-	}
-	return value.Value{}, false
+// semOps maps the foldable binary opcodes to their sem operators. The
+// folder evaluates through internal/sem so compile-time folding and VM
+// execution share one implementation.
+var semOps = map[Op]sem.Op{
+	OpAdd: sem.Add, OpSub: sem.Sub, OpMul: sem.Mul, OpDiv: sem.Div, OpMod: sem.Mod,
+	OpEq: sem.Eq, OpNe: sem.Ne, OpLt: sem.Lt, OpLe: sem.Le, OpGt: sem.Gt, OpGe: sem.Ge,
 }
 
-func foldCompare(op Op, l, r value.Value) (value.Value, bool) {
-	var cmp int
-	switch {
-	case l.K == value.Str && r.K == value.Str:
-		switch {
-		case l.Str() < r.Str():
-			cmp = -1
-		case l.Str() > r.Str():
-			cmp = 1
-		}
-	case l.K == value.Int && r.K == value.Int:
-		a, b := l.Int(), r.Int()
-		switch {
-		case a < b:
-			cmp = -1
-		case a > b:
-			cmp = 1
-		}
-	case (l.K == value.Int || l.K == value.Real) && (r.K == value.Int || r.K == value.Real):
-		a, b := l.AsReal(), r.AsReal()
-		switch {
-		case a < b:
-			cmp = -1
-		case a > b:
-			cmp = 1
-		}
-	default:
-		return value.Value{}, false
-	}
-	switch op {
-	case OpLt:
-		return value.NewBool(cmp < 0), true
-	case OpLe:
-		return value.NewBool(cmp <= 0), true
-	case OpGt:
-		return value.NewBool(cmp > 0), true
-	default:
-		return value.NewBool(cmp >= 0), true
-	}
+// foldBinary evaluates l op r via the shared semantics core. ok is false
+// when the expression must be left for run time: division or modulo by
+// zero (int AND real — both raise), non-constant kinds, or oversized
+// string concatenation (sem.MaxFoldedString).
+func foldBinary(op Op, l, r value.Value) (v value.Value, ok bool) {
+	return sem.FoldBinary(semOps[op], l, r)
 }
 
 func isArith(op Op) bool {
@@ -282,30 +187,26 @@ func foldConstants(f *Func, ch *Chunk) bool {
 		}
 		next := code[pc+1]
 		switch next.Op {
-		// Const, unary op → folded constant.
+		// Const, unary op → folded constant (evaluated by sem, like the VM).
 		case OpNeg:
-			var v value.Value
-			switch v1.K {
-			case value.Int:
-				v = value.NewInt(-v1.Int())
-			case value.Real:
-				v = value.NewReal(-v1.Real())
-			default:
+			v, ok := sem.FoldNeg(v1)
+			if !ok {
 				continue
 			}
 			code[pc] = constInstr(f, v)
 			code[pc+1] = Instr{Op: OpNop}
 			changed = true
 		case OpNot:
-			if v1.K != value.Bool {
+			v, ok := sem.FoldNot(v1)
+			if !ok {
 				continue
 			}
-			code[pc] = constInstr(f, value.NewBool(!v1.Bool()))
+			code[pc] = constInstr(f, v)
 			code[pc+1] = Instr{Op: OpNop}
 			changed = true
 		case OpToReal:
 			if v1.K == value.Int {
-				code[pc] = constInstr(f, value.NewReal(float64(v1.Int())))
+				code[pc] = constInstr(f, sem.ToReal(v1))
 				code[pc+1] = Instr{Op: OpNop}
 				changed = true
 			} else if v1.K == value.Real {
@@ -436,9 +337,12 @@ func fusePeepholes(f *Func, ch *Chunk) {
 			code[pc] = Instr{Op: OpCmpJump, A: next.A, B: int32(ins.Op), C: sense}
 			code[pc+1] = Instr{Op: OpNop}
 			changed = true
-		// const load + arithmetic → OpArithConst.
+		// const load + arithmetic → OpArithConst. The fused instruction
+		// keeps the arithmetic op's source position so a runtime error
+		// (division by zero) reports the operator, as at O0.
 		case ins.Op == OpConst && isArith(next.Op):
 			code[pc] = Instr{Op: OpArithConst, A: ins.A, B: int32(next.Op)}
+			ch.Pos[pc] = ch.Pos[pc+1]
 			code[pc+1] = Instr{Op: OpNop}
 			changed = true
 		}

@@ -8,7 +8,13 @@
 // Generated programs import only this package; it supplies Tetra's arrays
 // (reference semantics + bounds checking), the named-lock table, the
 // background-thread registry, Tetra-formatted printing, console input, and
-// the string/math/conversion builtins.
+// the string/math/conversion builtins. The semantics themselves — bounds
+// rules, arithmetic error conditions, rune access, parsing, formatting —
+// are NOT implemented here: every such function is a thin delegate into
+// internal/sem, the shared semantics core, which re-raises sem errors as
+// Tetra runtime panics. gort owns only what is specific to compiled
+// execution: goroutine plumbing, the resource governor, typed generic
+// arrays, and I/O.
 //
 // Runtime errors (index out of bounds, division by zero, conversion
 // failures) are raised as panics carrying an Err value; the generated main
@@ -20,7 +26,6 @@ package gort
 import (
 	"bufio"
 	"fmt"
-	"math"
 	"os"
 	"reflect"
 	"sort"
@@ -29,9 +34,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-	"unicode/utf8"
 
 	"repro/internal/sched"
+	"repro/internal/sem"
 )
 
 // Err is the panic payload for Tetra runtime errors.
@@ -42,6 +47,13 @@ func (e Err) Error() string { return "runtime error: " + e.Msg }
 // Raise aborts execution with a Tetra runtime error.
 func Raise(format string, args ...any) {
 	panic(Err{Msg: fmt.Sprintf(format, args...)})
+}
+
+// raiseSem re-raises a sem kernel error as a Tetra runtime panic; this is
+// how the shared semantics core's canonical error wording reaches compiled
+// programs.
+func raiseSem(err error) {
+	panic(Err{Msg: err.Error()})
 }
 
 // Catch runs a compiled program's main, converting Tetra runtime errors
@@ -299,26 +311,21 @@ func MakeArray[T any](n int64) *Array[T] { return &Array[T]{E: make([]T, n)} }
 func (a *Array[T]) Len() int64 { return int64(len(a.E)) }
 
 // Get returns element i with bounds checking. Negative indices count from
-// the end, Python-style (-1 is the last element).
+// the end, Python-style (-1 is the last element); the rule and the error
+// wording come from the shared semantics core.
 func (a *Array[T]) Get(i int64) T {
-	j := i
-	if j < 0 {
-		j += int64(len(a.E))
-	}
+	j := sem.NormIndex(i, int64(len(a.E)))
 	if j < 0 || j >= int64(len(a.E)) {
-		Raise("index %d out of range for array of length %d", i, len(a.E))
+		raiseSem(sem.ErrArrayIndex(i, len(a.E)))
 	}
 	return a.E[j]
 }
 
 // Set stores element i with bounds checking and negative-index support.
 func (a *Array[T]) Set(i int64, v T) {
-	j := i
-	if j < 0 {
-		j += int64(len(a.E))
-	}
+	j := sem.NormIndex(i, int64(len(a.E)))
 	if j < 0 || j >= int64(len(a.E)) {
-		Raise("index %d out of range for array of length %d", i, len(a.E))
+		raiseSem(sem.ErrArrayIndex(i, len(a.E)))
 	}
 	a.E[j] = v
 }
@@ -342,12 +349,9 @@ func (a *Array[T]) String() string {
 
 // Range returns the inclusive Tetra range [lo .. hi].
 func Range(lo, hi int64) *Array[int64] {
-	n := hi - lo + 1
-	if n < 0 {
-		n = 0
-	}
-	if n > 1<<28 {
-		Raise("range [%d .. %d] too large", lo, hi)
+	n, err := sem.RangeLen(lo, hi)
+	if err != nil {
+		raiseSem(err)
 	}
 	out := make([]int64, n)
 	for i := range out {
@@ -357,7 +361,8 @@ func Range(lo, hi int64) *Array[int64] {
 }
 
 // RangeN implements the range builtin: range(n) = [0, n), range(lo, hi) =
-// [lo, hi).
+// [lo, hi). Its too-large error is worded differently from the range
+// literal's (it reports an element count); both wordings live in sem.
 func RangeN(args ...int64) *Array[int64] {
 	lo, hi := int64(0), int64(0)
 	if len(args) == 1 {
@@ -365,80 +370,70 @@ func RangeN(args ...int64) *Array[int64] {
 	} else {
 		lo, hi = args[0], args[1]
 	}
-	if hi <= lo {
-		return &Array[int64]{}
+	n, err := sem.RangeNLen(lo, hi)
+	if err != nil {
+		raiseSem(err)
 	}
-	return Range(lo, hi-1)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = lo + int64(i)
+	}
+	return &Array[int64]{E: out}
 }
 
 // StrLen returns the number of Unicode characters in s — Tetra's len on
 // strings counts code points, not bytes.
-func StrLen(s string) int64 { return int64(utf8.RuneCountInString(s)) }
+func StrLen(s string) int64 { return int64(sem.RuneLen(s)) }
 
 // StrIndex returns the 1-character string s[i] with bounds checking. The
 // index counts Unicode characters; negative indices count from the end.
 func StrIndex(s string, i int64) string {
-	j := i
-	if j < 0 {
-		j += StrLen(s)
+	ch, err := sem.StringIndex(s, i)
+	if err != nil {
+		raiseSem(err)
 	}
-	if j >= 0 {
-		var k int64
-		for idx, r := range s {
-			if k == j {
-				return s[idx : idx+utf8.RuneLen(r)]
-			}
-			k++
-		}
-	}
-	Raise("index %d out of range for string of length %d", i, StrLen(s))
-	return ""
+	return ch
 }
 
 // StrIter returns the Unicode characters of s as 1-character strings, for
 // for-in loops over strings.
-func StrIter(s string) []string {
-	out := make([]string, 0, utf8.RuneCountInString(s))
-	for _, r := range s {
-		out = append(out, string(r))
-	}
-	return out
-}
+func StrIter(s string) []string { return sem.Runes(s) }
 
 // DivInt is Tetra integer division with the divide-by-zero runtime error.
 func DivInt(a, b int64) int64 {
-	if b == 0 {
-		Raise("division by zero")
+	v, err := sem.DivInt(a, b)
+	if err != nil {
+		raiseSem(err)
 	}
-	return a / b
+	return v
 }
 
 // ModInt is Tetra integer modulo with the modulo-by-zero runtime error.
 func ModInt(a, b int64) int64 {
-	if b == 0 {
-		Raise("modulo by zero")
+	v, err := sem.ModInt(a, b)
+	if err != nil {
+		raiseSem(err)
 	}
-	return a % b
+	return v
 }
-
-// Mod is real modulo.
-func Mod(a, b float64) float64 { return math.Mod(a, b) }
 
 // DivReal is Tetra real division; like DivInt it raises on a zero divisor
 // so every backend reports the same runtime error instead of producing inf.
 func DivReal(a, b float64) float64 {
-	if b == 0 {
-		Raise("division by zero")
+	v, err := sem.DivReal(a, b)
+	if err != nil {
+		raiseSem(err)
 	}
-	return a / b
+	return v
 }
 
 // ModReal is Tetra real modulo with the modulo-by-zero runtime error.
 func ModReal(a, b float64) float64 {
-	if b == 0 {
-		Raise("modulo by zero")
+	v, err := sem.ModReal(a, b)
+	if err != nil {
+		raiseSem(err)
 	}
-	return math.Mod(a, b)
+	return v
 }
 
 // Eq is Tetra's == on any pair of same-typed values; arrays compare deeply.
@@ -517,16 +512,13 @@ func Print(args ...any) {
 func formatTop(a any) string {
 	switch v := a.(type) {
 	case int64:
-		return strconv.FormatInt(v, 10)
+		return sem.FormatInt(v)
 	case float64:
-		return FormatReal(v)
+		return sem.FormatReal(v)
 	case string:
 		return v
 	case bool:
-		if v {
-			return "true"
-		}
-		return "false"
+		return sem.FormatBool(v)
 	case fmt.Stringer:
 		return v.String()
 	default:
@@ -537,29 +529,14 @@ func formatTop(a any) string {
 // formatElem formats a value inside an array (strings are quoted).
 func formatElem(a any) string {
 	if s, ok := a.(string); ok {
-		return strconv.Quote(s)
+		return sem.QuoteString(s)
 	}
 	return formatTop(a)
 }
 
 // FormatReal matches the interpreter's real formatting (trailing .0 on
 // integral values).
-func FormatReal(f float64) string {
-	if math.IsInf(f, 1) {
-		return "inf"
-	}
-	if math.IsInf(f, -1) {
-		return "-inf"
-	}
-	if math.IsNaN(f) {
-		return "nan"
-	}
-	s := strconv.FormatFloat(f, 'g', -1, 64)
-	if !strings.ContainsAny(s, ".eE") {
-		s += ".0"
-	}
-	return s
-}
+func FormatReal(f float64) string { return sem.FormatReal(f) }
 
 // in is the shared buffered stdin reader for the read_* builtins.
 var in = bufio.NewReader(os.Stdin)
@@ -588,14 +565,11 @@ func ReadBool() bool {
 	if _, err := fmt.Fscan(in, &s); err != nil {
 		Raise("read_bool: %v", err)
 	}
-	switch strings.ToLower(s) {
-	case "true", "1", "yes":
-		return true
-	case "false", "0", "no":
-		return false
+	v, ok := sem.ParseBool(s)
+	if !ok {
+		raiseSem(sem.ErrReadBool(s))
 	}
-	Raise("read_bool: cannot parse %q", s)
-	return false
+	return v
 }
 
 // ReadString implements read_string with the same leftover-newline
@@ -615,136 +589,84 @@ func ReadString() string {
 // Tetra builtins.
 
 // AbsInt implements abs on ints.
-func AbsInt(v int64) int64 {
-	if v < 0 {
-		return -v
-	}
-	return v
-}
+func AbsInt(v int64) int64 { return sem.AbsInt(v) }
 
 // MinInt implements min over int arguments.
-func MinInt(vs ...int64) int64 {
-	best := vs[0]
-	for _, v := range vs[1:] {
-		if v < best {
-			best = v
-		}
-	}
-	return best
-}
+func MinInt(vs ...int64) int64 { return sem.MinInts(vs...) }
 
 // MaxInt implements max over int arguments.
-func MaxInt(vs ...int64) int64 {
-	best := vs[0]
-	for _, v := range vs[1:] {
-		if v > best {
-			best = v
-		}
-	}
-	return best
-}
+func MaxInt(vs ...int64) int64 { return sem.MaxInts(vs...) }
 
 // MinReal implements min when any argument is real.
-func MinReal(vs ...float64) float64 {
-	best := vs[0]
-	for _, v := range vs[1:] {
-		if v < best {
-			best = v
-		}
-	}
-	return best
-}
+func MinReal(vs ...float64) float64 { return sem.MinReals(vs...) }
 
 // MaxReal implements max when any argument is real.
-func MaxReal(vs ...float64) float64 {
-	best := vs[0]
-	for _, v := range vs[1:] {
-		if v > best {
-			best = v
-		}
-	}
-	return best
-}
+func MaxReal(vs ...float64) float64 { return sem.MaxReals(vs...) }
 
 // Floor implements floor (→ int).
-func Floor(v float64) int64 { return int64(math.Floor(v)) }
+func Floor(v float64) int64 { return sem.Floor(v) }
 
 // Ceil implements ceil (→ int).
-func Ceil(v float64) int64 { return int64(math.Ceil(v)) }
+func Ceil(v float64) int64 { return sem.Ceil(v) }
 
 // ToStringOf implements to_string for any Tetra value.
 func ToStringOf(a any) string { return formatTop(a) }
 
 // ToIntFromString implements to_int on strings.
 func ToIntFromString(s string) int64 {
-	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	v, err := sem.ParseInt(s)
 	if err != nil {
-		Raise("to_int: cannot parse %q", s)
+		raiseSem(err)
 	}
 	return v
 }
 
 // ToRealFromString implements to_real on strings.
 func ToRealFromString(s string) float64 {
-	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	v, err := sem.ParseReal(s)
 	if err != nil {
-		Raise("to_real: cannot parse %q", s)
+		raiseSem(err)
 	}
 	return v
 }
 
 // BoolToInt implements to_int on bools.
-func BoolToInt(b bool) int64 {
-	if b {
-		return 1
-	}
-	return 0
-}
+func BoolToInt(b bool) int64 { return sem.BoolToInt(b) }
 
-// Substring implements substring with the interpreter's bounds errors.
+// Substring implements substring with the canonical bounds errors.
 func Substring(s string, lo, hi int64) string {
-	if lo < 0 || hi > int64(len(s)) || lo > hi {
-		Raise("substring: bounds [%d, %d) out of range for string of length %d", lo, hi, len(s))
+	v, err := sem.Substring(s, lo, hi)
+	if err != nil {
+		raiseSem(err)
 	}
-	return s[lo:hi]
+	return v
 }
 
 // Find implements find.
-func Find(s, sub string) int64 { return int64(strings.Index(s, sub)) }
+func Find(s, sub string) int64 { return sem.Find(s, sub) }
 
 // Split implements split (empty separator → whitespace fields).
 func Split(s, sep string) *Array[string] {
-	var parts []string
-	if sep == "" {
-		parts = strings.Fields(s)
-	} else {
-		parts = strings.Split(s, sep)
-	}
-	return &Array[string]{E: parts}
+	return &Array[string]{E: sem.Split(s, sep)}
 }
 
 // Join implements join.
-func Join(a *Array[string], sep string) string { return strings.Join(a.E, sep) }
+func Join(a *Array[string], sep string) string { return sem.Join(a.E, sep) }
 
 // Trim implements trim.
-func Trim(s string) string { return strings.TrimSpace(s) }
+func Trim(s string) string { return sem.Trim(s) }
 
 // Repeat implements repeat with the count guard.
 func Repeat(s string, n int64) string {
-	if n < 0 || n > 1<<24 {
-		Raise("repeat: count %d out of range", n)
+	v, err := sem.Repeat(s, n)
+	if err != nil {
+		raiseSem(err)
 	}
-	return strings.Repeat(s, int(n))
+	return v
 }
 
-// Reverse implements reverse (by runes).
-func Reverse(s string) string {
-	runes := []rune(s)
-	for i, j := 0, len(runes)-1; i < j; i, j = i+1, j-1 {
-		runes[i], runes[j] = runes[j], runes[i]
-	}
-	return string(runes)
-}
+// Reverse implements reverse (by Unicode characters).
+func Reverse(s string) string { return sem.Reverse(s) }
 
 // SortArray implements sort: a sorted copy.
 func SortArray[T int64 | float64 | string](a *Array[T]) *Array[T] {
@@ -786,18 +708,18 @@ func Sleep(ms int64) {
 func TimeMS() int64 { return time.Now().UnixMilli() }
 
 // Sqrt, Sin, Cos, Tan, Exp, Log, Pow and the string predicates are thin
-// stdlib aliases so generated code only imports gort.
-func Sqrt(v float64) float64    { return math.Sqrt(v) }
-func Sin(v float64) float64     { return math.Sin(v) }
-func Cos(v float64) float64     { return math.Cos(v) }
-func Tan(v float64) float64     { return math.Tan(v) }
-func Exp(v float64) float64     { return math.Exp(v) }
-func Log(v float64) float64     { return math.Log(v) }
-func Pow(a, b float64) float64  { return math.Pow(a, b) }
-func AbsReal(v float64) float64 { return math.Abs(v) }
+// sem aliases so generated code only imports gort.
+func Sqrt(v float64) float64    { return sem.Sqrt(v) }
+func Sin(v float64) float64     { return sem.Sin(v) }
+func Cos(v float64) float64     { return sem.Cos(v) }
+func Tan(v float64) float64     { return sem.Tan(v) }
+func Exp(v float64) float64     { return sem.Exp(v) }
+func Log(v float64) float64     { return sem.Log(v) }
+func Pow(a, b float64) float64  { return sem.Pow(a, b) }
+func AbsReal(v float64) float64 { return sem.AbsReal(v) }
 
-func ToUpper(s string) string          { return strings.ToUpper(s) }
-func ToLower(s string) string          { return strings.ToLower(s) }
-func StartsWith(s, prefix string) bool { return strings.HasPrefix(s, prefix) }
-func EndsWith(s, suffix string) bool   { return strings.HasSuffix(s, suffix) }
-func Contains(s, sub string) bool      { return strings.Contains(s, sub) }
+func ToUpper(s string) string          { return sem.ToUpper(s) }
+func ToLower(s string) string          { return sem.ToLower(s) }
+func StartsWith(s, prefix string) bool { return sem.StartsWith(s, prefix) }
+func EndsWith(s, suffix string) bool   { return sem.EndsWith(s, suffix) }
+func Contains(s, sub string) bool      { return sem.Contains(s, sub) }

@@ -148,7 +148,7 @@ func TestArith(t *testing.T) {
 	if err := catchErr(func() { ModInt(1, 0) }); err == nil {
 		t.Error("mod zero not raised")
 	}
-	if Mod(7.5, 2) != 1.5 {
+	if ModReal(7.5, 2) != 1.5 {
 		t.Error("real mod")
 	}
 }

@@ -17,7 +17,6 @@ package interp
 
 import (
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -26,6 +25,7 @@ import (
 	"repro/internal/deadlock"
 	"repro/internal/guard"
 	"repro/internal/sched"
+	"repro/internal/sem"
 	"repro/internal/stdlib"
 	"repro/internal/token"
 	"repro/internal/trace"
@@ -556,9 +556,9 @@ func (t *thread) execAssign(f *frame, s *ast.AssignStmt) error {
 			if t.interp.opts.TraceVars && f.shared {
 				t.emitVar(trace.VarRead, target.Pos(), target.Name, f.cells[target.Slot])
 			}
-			v, err = arith(augOp(s.Op), old, v, s.OpPos)
+			v, err = sem.Arith(augOp(s.Op), old, v)
 			if err != nil {
-				return err
+				return sem.At(err, s.OpPos.String())
 			}
 			if v.K == value.Str {
 				if cerr := t.chargeAlloc(int64(len(v.Str())), s.OpPos); cerr != nil {
@@ -583,19 +583,17 @@ func (t *thread) execAssign(f *frame, s *ast.AssignStmt) error {
 			return err
 		}
 		if arrV.K == value.Str {
-			return rtErr(target.Pos(), "strings are immutable; cannot assign to an index of a string")
+			return sem.At(sem.ErrImmutableStr, target.Pos().String())
 		}
 		a := arrV.Array()
-		i := idxV.Int()
-		j := value.NormIndex(i, int64(a.Len()))
-		if !a.InRange(j) {
-			return rtErr(target.Pos(), "index %d out of range for array of length %d", i, a.Len())
+		i, err := sem.ArrayIndex(a, idxV.Int())
+		if err != nil {
+			return sem.At(err, target.Pos().String())
 		}
-		i = j
 		if s.Op != token.ASSIGN {
-			v, err = arith(augOp(s.Op), a.Get(int(i)), v, s.OpPos)
+			v, err = sem.Arith(augOp(s.Op), a.Get(i), v)
 			if err != nil {
-				return err
+				return sem.At(err, s.OpPos.String())
 			}
 			if v.K == value.Str {
 				if cerr := t.chargeAlloc(int64(len(v.Str())), s.OpPos); cerr != nil {
@@ -603,24 +601,25 @@ func (t *thread) execAssign(f *frame, s *ast.AssignStmt) error {
 				}
 			}
 		}
-		a.Set(int(i), value.Convert(v, target.Type()))
+		a.Set(i, value.Convert(v, target.Type()))
 		return nil
 	}
 	return rtErr(s.Pos(), "internal: bad assignment target %T", s.Target)
 }
 
-func augOp(k token.Kind) token.Kind {
+// augOp maps an augmented-assignment token to the sem operator it applies.
+func augOp(k token.Kind) sem.Op {
 	switch k {
 	case token.PLUSASSIGN:
-		return token.PLUS
+		return sem.Add
 	case token.MINUSASSIGN:
-		return token.MINUS
+		return sem.Sub
 	case token.STARASSIGN:
-		return token.STAR
+		return sem.Mul
 	case token.SLASHASSIGN:
-		return token.SLASH
+		return sem.Div
 	default:
-		return token.PERCENT
+		return sem.Mod
 	}
 }
 
@@ -783,18 +782,15 @@ func (t *thread) execLock(f *frame, s *ast.LockStmt) (signal, error) {
 	return sig, err
 }
 
-// iterator walks an array or a string. Strings are materialized as their
-// Unicode characters (1-character strings, one per code point) once up
-// front, so iteration never splits a multi-byte character.
+// iterator walks an array or a string via sem.Elements: strings are
+// materialized as their Unicode characters once up front, so iteration
+// never splits a multi-byte character.
 type iterator struct {
 	arr *value.Array
 }
 
 func newIterator(seq value.Value) iterator {
-	if seq.K == value.Str {
-		return iterator{arr: value.Runes(seq.Str())}
-	}
-	return iterator{arr: seq.Array()}
+	return iterator{arr: sem.Elements(seq)}
 }
 
 func (it iterator) len() int { return it.arr.Len() }
@@ -927,12 +923,9 @@ func (t *thread) eval(f *frame, e ast.Expr) (value.Value, error) {
 			return value.Value{}, err
 		}
 		if e.Op == token.NOT {
-			return value.NewBool(!v.Bool()), nil
+			return sem.Not(v), nil
 		}
-		if v.K == value.Int {
-			return value.NewInt(-v.Int()), nil
-		}
-		return value.NewReal(-v.Real()), nil
+		return sem.Neg(v), nil
 
 	case *ast.BinaryExpr:
 		return t.evalBinary(f, e)
@@ -946,21 +939,11 @@ func (t *thread) eval(f *frame, e ast.Expr) (value.Value, error) {
 		if err != nil {
 			return value.Value{}, err
 		}
-		i := idx.Int()
-		if x.K == value.Str {
-			s := x.Str()
-			ch, ok := value.RuneAt(s, i)
-			if !ok {
-				return value.Value{}, rtErr(e.Pos(), "index %d out of range for string of length %d", i, value.RuneLen(s))
-			}
-			return value.NewString(ch), nil
+		v, err := sem.Index(x, idx.Int())
+		if err != nil {
+			return value.Value{}, sem.At(err, e.Pos().String())
 		}
-		a := x.Array()
-		j := value.NormIndex(i, int64(a.Len()))
-		if !a.InRange(j) {
-			return value.Value{}, rtErr(e.Pos(), "index %d out of range for array of length %d", i, a.Len())
-		}
-		return a.Get(int(j)), nil
+		return v, nil
 
 	case *ast.CallExpr:
 		return t.evalCall(f, e)
@@ -969,12 +952,9 @@ func (t *thread) eval(f *frame, e ast.Expr) (value.Value, error) {
 }
 
 func makeRange(lo, hi int64, pos token.Pos) (value.Value, error) {
-	n := hi - lo + 1 // inclusive range [lo .. hi]
-	if n < 0 {
-		n = 0
-	}
-	if n > 1<<28 {
-		return value.Value{}, rtErr(pos, "range [%d .. %d] too large", lo, hi)
+	n, err := sem.RangeLen(lo, hi) // inclusive range [lo .. hi]
+	if err != nil {
+		return value.Value{}, sem.At(err, pos.String())
 	}
 	elems := make([]value.Value, n)
 	for i := int64(0); i < n; i++ {
@@ -1012,112 +992,50 @@ func (t *thread) evalBinary(f *frame, e *ast.BinaryExpr) (value.Value, error) {
 		return value.Value{}, err
 	}
 
-	switch e.Op {
-	case token.EQ:
-		return value.NewBool(value.Equal(l, r)), nil
-	case token.NE:
-		return value.NewBool(!value.Equal(l, r)), nil
-	case token.LT, token.LE, token.GT, token.GE:
-		return compare(e.Op, l, r), nil
-	default:
-		v, err := arith(e.Op, l, r, e.OpPos)
-		if err == nil && v.K == value.Str {
-			// String concatenation is the one arithmetic op that grows
-			// data; charge the built bytes so `s += s` loops trip.
-			if cerr := t.chargeAlloc(int64(len(v.Str())), e.OpPos); cerr != nil {
-				return value.Value{}, cerr
-			}
-		}
-		return v, err
+	op := binOp(e.Op)
+	if op.IsCompare() {
+		return value.NewBool(sem.Compare(op, l, r)), nil
 	}
+	v, err := sem.Arith(op, l, r)
+	if err != nil {
+		return value.Value{}, sem.At(err, e.OpPos.String())
+	}
+	if v.K == value.Str {
+		// String concatenation is the one arithmetic op that grows
+		// data; charge the built bytes so `s += s` loops trip.
+		if cerr := t.chargeAlloc(int64(len(v.Str())), e.OpPos); cerr != nil {
+			return value.Value{}, cerr
+		}
+	}
+	return v, nil
 }
 
-func compare(op token.Kind, l, r value.Value) value.Value {
-	var cmp int
-	if l.K == value.Str {
-		switch {
-		case l.Str() < r.Str():
-			cmp = -1
-		case l.Str() > r.Str():
-			cmp = 1
-		}
-	} else if l.K == value.Int && r.K == value.Int {
-		a, b := l.Int(), r.Int()
-		switch {
-		case a < b:
-			cmp = -1
-		case a > b:
-			cmp = 1
-		}
-	} else {
-		a, b := l.AsReal(), r.AsReal()
-		switch {
-		case a < b:
-			cmp = -1
-		case a > b:
-			cmp = 1
-		}
-	}
-	switch op {
-	case token.LT:
-		return value.NewBool(cmp < 0)
-	case token.LE:
-		return value.NewBool(cmp <= 0)
-	case token.GT:
-		return value.NewBool(cmp > 0)
-	default:
-		return value.NewBool(cmp >= 0)
-	}
-}
-
-// arith implements + - * / % with Tetra's numeric rules: int op int stays
-// int (integer division), any real operand widens both to real, and + also
-// concatenates strings.
-func arith(op token.Kind, l, r value.Value, pos token.Pos) (value.Value, error) {
-	if l.K == value.Str {
-		return value.NewString(l.Str() + r.Str()), nil
-	}
-	if l.K == value.Int && r.K == value.Int {
-		a, b := l.Int(), r.Int()
-		switch op {
-		case token.PLUS:
-			return value.NewInt(a + b), nil
-		case token.MINUS:
-			return value.NewInt(a - b), nil
-		case token.STAR:
-			return value.NewInt(a * b), nil
-		case token.SLASH:
-			if b == 0 {
-				return value.Value{}, rtErr(pos, "division by zero")
-			}
-			return value.NewInt(a / b), nil
-		default:
-			if b == 0 {
-				return value.Value{}, rtErr(pos, "modulo by zero")
-			}
-			return value.NewInt(a % b), nil
-		}
-	}
-	a, b := l.AsReal(), r.AsReal()
-	switch op {
+// binOp maps a binary-operator token to its sem operator. The mapping is
+// the interpreter's only operator knowledge; evaluation lives in sem.
+func binOp(k token.Kind) sem.Op {
+	switch k {
 	case token.PLUS:
-		return value.NewReal(a + b), nil
+		return sem.Add
 	case token.MINUS:
-		return value.NewReal(a - b), nil
+		return sem.Sub
 	case token.STAR:
-		return value.NewReal(a * b), nil
+		return sem.Mul
 	case token.SLASH:
-		// Division by zero raises for reals just as it does for ints —
-		// a silent inf is a poor teacher (LANGUAGE.md §Numbers).
-		if b == 0 {
-			return value.Value{}, rtErr(pos, "division by zero")
-		}
-		return value.NewReal(a / b), nil
+		return sem.Div
+	case token.PERCENT:
+		return sem.Mod
+	case token.EQ:
+		return sem.Eq
+	case token.NE:
+		return sem.Ne
+	case token.LT:
+		return sem.Lt
+	case token.LE:
+		return sem.Le
+	case token.GT:
+		return sem.Gt
 	default:
-		if b == 0 {
-			return value.Value{}, rtErr(pos, "modulo by zero")
-		}
-		return value.NewReal(math.Mod(a, b)), nil
+		return sem.Ge
 	}
 }
 

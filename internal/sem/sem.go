@@ -1,0 +1,335 @@
+// Package sem is the single implementation of Tetra's operational
+// semantics. Every backend — the tree-walking interpreter
+// (internal/interp), the bytecode VM (internal/vm), the compiled runtime
+// (internal/gort) and the constant folder (internal/bytecode/optimize.go)
+// — evaluates operators, indexes strings and arrays, iterates sequences
+// and runs builtin kernels by calling this package, so the four execution
+// paths cannot drift apart: there is nothing to drift between.
+//
+// Before this package existed the semantics were implemented four times,
+// and every rule change (rune-correct strings, negative indexing,
+// real-division-by-zero) had to be replayed in each copy. Astrée's
+// parallelization attributes its soundness to one shared abstract-operation
+// layer under all workers; sem gives Tetra-Go the same property for its
+// concrete semantics.
+//
+// Layering: sem sits directly above internal/value (the representation
+// layer). Deep value equality and print formatting are representation
+// walks, so their code lives with the representation (value.Equal,
+// Value.String); sem re-exports them (Equal, Format) as the canonical
+// entry points so backends import only sem. Everything else — operator
+// evaluation, error wording, rune access, bounds rules, builtin kernels —
+// is implemented here and nowhere else, which the grep guard
+// (internal/sem/guard_test.go and the CI step) enforces.
+//
+// Errors: kernels return *sem.Error carrying only the canonical message.
+// Backends attach their source position with At; compiled programs panic
+// with the message via gort.Raise. This is what keeps error wording
+// byte-identical across backends while positions stay backend-local.
+package sem
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/value"
+)
+
+// Op identifies a Tetra binary operator. Arithmetic operators come first,
+// comparisons second; IsCompare relies on the split.
+type Op uint8
+
+// The binary operators.
+const (
+	Add Op = iota
+	Sub
+	Mul
+	Div
+	Mod
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+var opNames = [...]string{
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", Mod: "mod",
+	Eq: "eq", Ne: "ne", Lt: "lt", Le: "le", Gt: "gt", Ge: "ge",
+}
+
+// String returns the operator mnemonic (matching the bytecode mnemonics).
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsCompare reports whether o is one of the six comparison operators.
+func (o Op) IsCompare() bool { return o >= Eq }
+
+// Error is a Tetra runtime error without a source position. Kernels return
+// it so each backend can attach its own notion of position (AST node,
+// bytecode pc, or none for compiled programs, which print the bare
+// message).
+type Error struct{ Msg string }
+
+func (e *Error) Error() string { return e.Msg }
+
+// Errf builds an Error with a formatted canonical message.
+func Errf(format string, args ...any) *Error {
+	return &Error{Msg: fmt.Sprintf(format, args...)}
+}
+
+// At attaches a source position to a sem error, producing the positioned
+// value.RuntimeError every backend reports. Non-sem errors pass through
+// unchanged.
+func At(err error, pos string) error {
+	if e, ok := err.(*Error); ok {
+		return &value.RuntimeError{Msg: e.Msg, Pos: pos}
+	}
+	return err
+}
+
+// Canonical runtime error wording. These strings appear in goldens, the
+// docs (LANGUAGE.md §Runtime errors) and every backend's output; they are
+// defined once, here.
+const (
+	MsgDivisionByZero  = "division by zero"
+	MsgModuloByZero    = "modulo by zero"
+	MsgImmutableString = "strings are immutable; cannot assign to an index of a string"
+)
+
+// ErrDivisionByZero and ErrModuloByZero are the shared arithmetic errors.
+var (
+	ErrDivisionByZero = &Error{Msg: MsgDivisionByZero}
+	ErrModuloByZero   = &Error{Msg: MsgModuloByZero}
+	ErrImmutableStr   = &Error{Msg: MsgImmutableString}
+)
+
+// ErrArrayIndex is the canonical out-of-range error for arrays. i is the
+// index the program wrote (before negative-index normalization), n the
+// array length.
+func ErrArrayIndex(i int64, n int) *Error {
+	return Errf("index %d out of range for array of length %d", i, n)
+}
+
+// ErrStringIndex is the canonical out-of-range error for strings. n is the
+// string's length in Unicode characters.
+func ErrStringIndex(i int64, n int) *Error {
+	return Errf("index %d out of range for string of length %d", i, n)
+}
+
+// Arith evaluates l op r for the five arithmetic operators with Tetra's
+// numeric rules: int op int stays int (truncating division, Go-style
+// two's-complement wraparound on overflow), any real operand widens both
+// sides to real, division and modulo by zero raise (for reals too — a
+// silent inf is a poor teacher, LANGUAGE.md §Numbers), and + concatenates
+// strings. A non-+ operator on string operands is an internal error: the
+// checker rules it out statically, so only a compiler or optimizer bug can
+// get here, and failing loudly beats silently concatenating.
+func Arith(op Op, l, r value.Value) (value.Value, error) {
+	if l.K == value.Str || r.K == value.Str {
+		if op != Add || l.K != r.K {
+			return value.Value{}, Errf("internal: %s applied to string operands", op)
+		}
+		return value.NewString(l.Str() + r.Str()), nil
+	}
+	if l.K == value.Int && r.K == value.Int {
+		a, b := l.Int(), r.Int()
+		switch op {
+		case Add:
+			return value.NewInt(a + b), nil
+		case Sub:
+			return value.NewInt(a - b), nil
+		case Mul:
+			return value.NewInt(a * b), nil
+		case Div:
+			if b == 0 {
+				return value.Value{}, ErrDivisionByZero
+			}
+			return value.NewInt(a / b), nil
+		default:
+			if b == 0 {
+				return value.Value{}, ErrModuloByZero
+			}
+			return value.NewInt(a % b), nil
+		}
+	}
+	a, b := l.AsReal(), r.AsReal()
+	switch op {
+	case Add:
+		return value.NewReal(a + b), nil
+	case Sub:
+		return value.NewReal(a - b), nil
+	case Mul:
+		return value.NewReal(a * b), nil
+	case Div:
+		if b == 0 {
+			return value.Value{}, ErrDivisionByZero
+		}
+		return value.NewReal(a / b), nil
+	default:
+		if b == 0 {
+			return value.Value{}, ErrModuloByZero
+		}
+		return value.NewReal(math.Mod(a, b)), nil
+	}
+}
+
+// Compare evaluates any of the six comparison operators to a Go bool.
+// Eq/Ne use deep value equality (with int/real cross-kind numeric
+// equality); the four relational operators order strings
+// lexicographically by bytes, int pairs as ints, and any other numeric
+// pair as reals. The checker guarantees relational operands are both
+// strings or both numeric.
+func Compare(op Op, l, r value.Value) bool {
+	switch op {
+	case Eq:
+		return value.Equal(l, r)
+	case Ne:
+		return !value.Equal(l, r)
+	}
+	var cmp int
+	if l.K == value.Str {
+		switch {
+		case l.Str() < r.Str():
+			cmp = -1
+		case l.Str() > r.Str():
+			cmp = 1
+		}
+	} else if l.K == value.Int && r.K == value.Int {
+		a, b := l.Int(), r.Int()
+		switch {
+		case a < b:
+			cmp = -1
+		case a > b:
+			cmp = 1
+		}
+	} else {
+		a, b := l.AsReal(), r.AsReal()
+		switch {
+		case a < b:
+			cmp = -1
+		case a > b:
+			cmp = 1
+		}
+	}
+	switch op {
+	case Lt:
+		return cmp < 0
+	case Le:
+		return cmp <= 0
+	case Gt:
+		return cmp > 0
+	default:
+		return cmp >= 0
+	}
+}
+
+// Binary evaluates any binary operator: comparisons yield bool values,
+// arithmetic follows Arith.
+func Binary(op Op, l, r value.Value) (value.Value, error) {
+	if op.IsCompare() {
+		return value.NewBool(Compare(op, l, r)), nil
+	}
+	return Arith(op, l, r)
+}
+
+// Neg evaluates unary minus: int stays int, anything else is real.
+func Neg(v value.Value) value.Value {
+	if v.K == value.Int {
+		return value.NewInt(-v.Int())
+	}
+	return value.NewReal(-v.Real())
+}
+
+// Not evaluates logical not.
+func Not(v value.Value) value.Value { return value.NewBool(!Truthy(v)) }
+
+// Truthy is Tetra's condition rule. Conditions are statically bool, so
+// this simply reads the bool payload; it exists so the rule has one home.
+func Truthy(v value.Value) bool { return v.Bool() }
+
+// ToReal applies the implicit int→real widening; reals pass through.
+func ToReal(v value.Value) value.Value {
+	if v.K == value.Int {
+		return value.NewReal(float64(v.Int()))
+	}
+	return v
+}
+
+// Equal is the canonical deep value equality, re-exported from the
+// representation layer so backends import only sem.
+func Equal(a, b value.Value) bool { return value.Equal(a, b) }
+
+// Format renders a value the way Tetra's print does; re-exported from the
+// representation layer (value.Value.String walks the representation).
+func Format(v value.Value) string { return v.String() }
+
+// ---- constant folding ----
+//
+// The folder in internal/bytecode/optimize.go folds by calling the same
+// kernels the VM executes, through the Fold* wrappers below. The wrappers
+// add exactly one thing: the decision to *refuse* a fold and leave the
+// expression for run time — when evaluation would raise (so the error
+// surfaces at its source position), when operands are not compile-time
+// scalars, or when a folded string would balloon the constant pool.
+
+// MaxFoldedString caps compile-time string concatenation so pathological
+// constant expressions cannot balloon the constant pool.
+const MaxFoldedString = 1 << 16
+
+// FoldBinary evaluates l op r exactly as Binary would at run time,
+// reporting ok=false when the fold must be refused. A refused fold is not
+// an error: the expression keeps its runtime evaluation (and its runtime
+// error position, for division/modulo by zero).
+func FoldBinary(op Op, l, r value.Value) (v value.Value, ok bool) {
+	switch op {
+	case Eq, Ne:
+		return value.NewBool(Compare(op, l, r)), true
+	case Lt, Le, Gt, Ge:
+		if !comparableScalars(l, r) {
+			return value.Value{}, false
+		}
+		return value.NewBool(Compare(op, l, r)), true
+	default:
+		if l.K == value.Str && r.K == value.Str && op == Add &&
+			len(l.Str())+len(r.Str()) > MaxFoldedString {
+			return value.Value{}, false
+		}
+		v, err := Arith(op, l, r)
+		if err != nil {
+			return value.Value{}, false
+		}
+		return v, true
+	}
+}
+
+// FoldNeg folds unary minus on numeric constants.
+func FoldNeg(v value.Value) (value.Value, bool) {
+	if v.K == value.Int || v.K == value.Real {
+		return Neg(v), true
+	}
+	return value.Value{}, false
+}
+
+// FoldNot folds logical not on bool constants.
+func FoldNot(v value.Value) (value.Value, bool) {
+	if v.K == value.Bool {
+		return Not(v), true
+	}
+	return value.Value{}, false
+}
+
+// comparableScalars reports whether a relational comparison of the two
+// constants is defined (both strings, or both numeric).
+func comparableScalars(l, r value.Value) bool {
+	if l.K == value.Str && r.K == value.Str {
+		return true
+	}
+	return (l.K == value.Int || l.K == value.Real) &&
+		(r.K == value.Int || r.K == value.Real)
+}

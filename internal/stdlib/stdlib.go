@@ -10,20 +10,23 @@
 // Each builtin carries a check-time signature function (consumed by
 // internal/check) and a runtime implementation (shared by the tree-walking
 // interpreter and the bytecode VM so the two backends cannot drift apart).
+// The implementations here are dispatch and I/O only: the computational
+// kernels — parsing, bounds rules, string operations, error wording —
+// live in internal/sem, the semantics core shared with the compiled
+// runtime (internal/gort), so all three backends evaluate identically.
 package stdlib
 
 import (
 	"bufio"
 	"fmt"
 	"io"
-	"math"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/guard"
+	"repro/internal/sem"
 	"repro/internal/types"
 	"repro/internal/value"
 )
@@ -291,13 +294,10 @@ func init() {
 			if _, err := fmt.Fscan(env.In, &s); err != nil {
 				return value.Value{}, fmt.Errorf("read_bool: %v", err)
 			}
-			switch strings.ToLower(s) {
-			case "true", "1", "yes":
-				return value.NewBool(true), nil
-			case "false", "0", "no":
-				return value.NewBool(false), nil
+			if v, ok := sem.ParseBool(s); ok {
+				return value.NewBool(v), nil
 			}
-			return value.Value{}, fmt.Errorf("read_bool: cannot parse %q", s)
+			return value.Value{}, sem.ErrReadBool(s)
 		})
 
 	register(Len, "len",
@@ -311,11 +311,8 @@ func init() {
 			return types.IntType, nil
 		},
 		func(_ *Env, args []value.Value) (value.Value, error) {
-			if args[0].K == value.Arr {
-				return value.NewInt(int64(args[0].Array().Len())), nil
-			}
-			// Strings measure Unicode characters, not bytes.
-			return value.NewInt(int64(value.RuneLen(args[0].Str()))), nil
+			// Arrays count elements; strings count Unicode characters.
+			return value.NewInt(sem.Length(args[0])), nil
 		})
 
 	register(Range, "range",
@@ -337,12 +334,9 @@ func init() {
 			} else {
 				lo, hi = args[0].Int(), args[1].Int() // range(lo, hi) = [lo, hi)
 			}
-			n := hi - lo
-			if n < 0 {
-				n = 0
-			}
-			if n > 1<<28 {
-				return value.Value{}, fmt.Errorf("range too large (%d elements)", n)
+			n, err := sem.RangeNLen(lo, hi)
+			if err != nil {
+				return value.Value{}, err
 			}
 			if g := env.guard; g != nil {
 				if k := g.AddAlloc(n); k != guard.OK {
@@ -356,12 +350,12 @@ func init() {
 			return value.NewArray(a), nil
 		})
 
-	register(Sqrt, "sqrt", checkReal1, realFn(math.Sqrt))
-	register(Sin, "sin", checkReal1, realFn(math.Sin))
-	register(Cos, "cos", checkReal1, realFn(math.Cos))
-	register(Tan, "tan", checkReal1, realFn(math.Tan))
-	register(Exp, "exp", checkReal1, realFn(math.Exp))
-	register(Log, "log", checkReal1, realFn(math.Log))
+	register(Sqrt, "sqrt", checkReal1, realFn(sem.Sqrt))
+	register(Sin, "sin", checkReal1, realFn(sem.Sin))
+	register(Cos, "cos", checkReal1, realFn(sem.Cos))
+	register(Tan, "tan", checkReal1, realFn(sem.Tan))
+	register(Exp, "exp", checkReal1, realFn(sem.Exp))
+	register(Log, "log", checkReal1, realFn(sem.Log))
 
 	register(Abs, "abs",
 		func(args []*types.Type) (*types.Type, error) {
@@ -375,13 +369,9 @@ func init() {
 		},
 		func(_ *Env, args []value.Value) (value.Value, error) {
 			if args[0].K == value.Int {
-				v := args[0].Int()
-				if v < 0 {
-					v = -v
-				}
-				return value.NewInt(v), nil
+				return value.NewInt(sem.AbsInt(args[0].Int())), nil
 			}
-			return value.NewReal(math.Abs(args[0].Real())), nil
+			return value.NewReal(sem.AbsReal(args[0].Real())), nil
 		})
 
 	register(Pow, "pow",
@@ -397,7 +387,7 @@ func init() {
 			return types.RealType, nil
 		},
 		func(_ *Env, args []value.Value) (value.Value, error) {
-			return value.NewReal(math.Pow(args[0].AsReal(), args[1].AsReal())), nil
+			return value.NewReal(sem.Pow(args[0].AsReal(), args[1].AsReal())), nil
 		})
 
 	register(Floor, "floor",
@@ -411,7 +401,7 @@ func init() {
 			return types.IntType, nil
 		},
 		func(_ *Env, args []value.Value) (value.Value, error) {
-			return value.NewInt(int64(math.Floor(args[0].AsReal()))), nil
+			return value.NewInt(sem.Floor(args[0].AsReal())), nil
 		})
 
 	register(Ceil, "ceil",
@@ -425,7 +415,7 @@ func init() {
 			return types.IntType, nil
 		},
 		func(_ *Env, args []value.Value) (value.Value, error) {
-			return value.NewInt(int64(math.Ceil(args[0].AsReal()))), nil
+			return value.NewInt(sem.Ceil(args[0].AsReal())), nil
 		})
 
 	minMaxCheck := func(args []*types.Type) (*types.Type, error) {
@@ -482,16 +472,13 @@ func init() {
 			case value.Int:
 				return args[0], nil
 			case value.Real:
-				return value.NewInt(int64(args[0].Real())), nil
+				return value.NewInt(sem.TruncReal(args[0].Real())), nil
 			case value.Bool:
-				if args[0].Bool() {
-					return value.NewInt(1), nil
-				}
-				return value.NewInt(0), nil
+				return value.NewInt(sem.BoolToInt(args[0].Bool())), nil
 			default:
-				v, err := strconv.ParseInt(strings.TrimSpace(args[0].Str()), 10, 64)
+				v, err := sem.ParseInt(args[0].Str())
 				if err != nil {
-					return value.Value{}, fmt.Errorf("to_int: cannot parse %q", args[0].Str())
+					return value.Value{}, err
 				}
 				return value.NewInt(v), nil
 			}
@@ -513,9 +500,9 @@ func init() {
 			case value.Int, value.Real:
 				return value.NewReal(args[0].AsReal()), nil
 			default:
-				v, err := strconv.ParseFloat(strings.TrimSpace(args[0].Str()), 64)
+				v, err := sem.ParseReal(args[0].Str())
 				if err != nil {
-					return value.Value{}, fmt.Errorf("to_real: cannot parse %q", args[0].Str())
+					return value.Value{}, err
 				}
 				return value.NewReal(v), nil
 			}
@@ -538,21 +525,20 @@ func init() {
 			return types.StringType, nil
 		},
 		func(_ *Env, args []value.Value) (value.Value, error) {
-			s := args[0].Str()
-			lo, hi := args[1].Int(), args[2].Int()
-			if lo < 0 || hi > int64(len(s)) || lo > hi {
-				return value.Value{}, fmt.Errorf("substring: bounds [%d, %d) out of range for string of length %d", lo, hi, len(s))
+			out, err := sem.Substring(args[0].Str(), args[1].Int(), args[2].Int())
+			if err != nil {
+				return value.Value{}, err
 			}
-			return value.NewString(s[lo:hi]), nil
+			return value.NewString(out), nil
 		})
 
 	register(ToUpper, "to_upper", checkStr1,
 		func(_ *Env, args []value.Value) (value.Value, error) {
-			return value.NewString(strings.ToUpper(args[0].Str())), nil
+			return value.NewString(sem.ToUpper(args[0].Str())), nil
 		})
 	register(ToLower, "to_lower", checkStr1,
 		func(_ *Env, args []value.Value) (value.Value, error) {
-			return value.NewString(strings.ToLower(args[0].Str())), nil
+			return value.NewString(sem.ToLower(args[0].Str())), nil
 		})
 
 	register(Find, "find",
@@ -569,7 +555,7 @@ func init() {
 			return types.IntType, nil
 		},
 		func(_ *Env, args []value.Value) (value.Value, error) {
-			return value.NewInt(int64(strings.Index(args[0].Str(), args[1].Str()))), nil
+			return value.NewInt(sem.Find(args[0].Str(), args[1].Str())), nil
 		})
 
 	register(Split, "split",
@@ -586,12 +572,7 @@ func init() {
 			return types.ArrayOf(types.StringType), nil
 		},
 		func(_ *Env, args []value.Value) (value.Value, error) {
-			var parts []string
-			if args[1].Str() == "" {
-				parts = strings.Fields(args[0].Str())
-			} else {
-				parts = strings.Split(args[0].Str(), args[1].Str())
-			}
+			parts := sem.Split(args[0].Str(), args[1].Str())
 			elems := make([]value.Value, len(parts))
 			for i, p := range parts {
 				elems[i] = value.NewString(p)
@@ -618,25 +599,25 @@ func init() {
 			for i := range parts {
 				parts[i] = a.Get(i).Str()
 			}
-			return value.NewString(strings.Join(parts, args[1].Str())), nil
+			return value.NewString(sem.Join(parts, args[1].Str())), nil
 		})
 
 	register(StartsWith, "starts_with", checkStr2Bool,
 		func(_ *Env, args []value.Value) (value.Value, error) {
-			return value.NewBool(strings.HasPrefix(args[0].Str(), args[1].Str())), nil
+			return value.NewBool(sem.StartsWith(args[0].Str(), args[1].Str())), nil
 		})
 	register(EndsWith, "ends_with", checkStr2Bool,
 		func(_ *Env, args []value.Value) (value.Value, error) {
-			return value.NewBool(strings.HasSuffix(args[0].Str(), args[1].Str())), nil
+			return value.NewBool(sem.EndsWith(args[0].Str(), args[1].Str())), nil
 		})
 	register(Contains, "contains", checkStr2Bool,
 		func(_ *Env, args []value.Value) (value.Value, error) {
-			return value.NewBool(strings.Contains(args[0].Str(), args[1].Str())), nil
+			return value.NewBool(sem.Contains(args[0].Str(), args[1].Str())), nil
 		})
 
 	register(Trim, "trim", checkStr1,
 		func(_ *Env, args []value.Value) (value.Value, error) {
-			return value.NewString(strings.TrimSpace(args[0].Str())), nil
+			return value.NewString(sem.Trim(args[0].Str())), nil
 		})
 
 	register(Repeat, "repeat",
@@ -653,20 +634,16 @@ func init() {
 			return types.StringType, nil
 		},
 		func(_ *Env, args []value.Value) (value.Value, error) {
-			n := args[1].Int()
-			if n < 0 || n > 1<<24 {
-				return value.Value{}, fmt.Errorf("repeat: count %d out of range", n)
+			out, err := sem.Repeat(args[0].Str(), args[1].Int())
+			if err != nil {
+				return value.Value{}, err
 			}
-			return value.NewString(strings.Repeat(args[0].Str(), int(n))), nil
+			return value.NewString(out), nil
 		})
 
 	register(Reverse, "reverse", checkStr1,
 		func(_ *Env, args []value.Value) (value.Value, error) {
-			runes := []rune(args[0].Str())
-			for i, j := 0, len(runes)-1; i < j; i, j = i+1, j-1 {
-				runes[i], runes[j] = runes[j], runes[i]
-			}
-			return value.NewString(string(runes)), nil
+			return value.NewString(sem.Reverse(args[0].Str())), nil
 		})
 
 	register(Sort, "sort",

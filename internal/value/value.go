@@ -22,7 +22,6 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
-	"unicode/utf8"
 
 	"repro/internal/types"
 )
@@ -412,57 +411,6 @@ func (c *Cell) LoadLocal() Value { return c.v }
 
 // StoreLocal stores without locking under the same condition.
 func (c *Cell) StoreLocal(v Value) { c.v = v }
-
-// Tetra strings are sequences of Unicode characters: len, indexing and
-// iteration count code points, not bytes (LANGUAGE.md §Strings), so
-// "héllo" has length 5 on every backend. The helpers below are shared by
-// the interpreter, the VM and the stdlib; internal/gort carries the same
-// logic for compiled programs.
-
-// RuneLen returns the number of Unicode code points in s.
-func RuneLen(s string) int { return utf8.RuneCountInString(s) }
-
-// RuneAt returns the 1-character string at character index i. Negative i
-// counts from the end, Python-style (-1 is the last character). ok is
-// false when i is out of range after normalization.
-func RuneAt(s string, i int64) (string, bool) {
-	j := i
-	if j < 0 {
-		j += int64(RuneLen(s))
-		if j < 0 {
-			return "", false
-		}
-	}
-	var k int64
-	for idx, r := range s {
-		if k == j {
-			return s[idx : idx+utf8.RuneLen(r)], true
-		}
-		k++
-	}
-	return "", false
-}
-
-// Runes materializes s as an array of 1-character strings, one per code
-// point — the element view `for`/`parallel for` iterate over.
-func Runes(s string) *Array {
-	elems := make([]Value, 0, utf8.RuneCountInString(s))
-	for _, r := range s {
-		elems = append(elems, NewString(string(r)))
-	}
-	return FromSlice(types.StringType, elems)
-}
-
-// NormIndex applies Python-style negative indexing against length n: a
-// negative i counts from the end. The result may still be out of range
-// (below -n or at/after n); callers bounds-check the returned index but
-// report the original one.
-func NormIndex(i, n int64) int64 {
-	if i < 0 {
-		return i + n
-	}
-	return i
-}
 
 // RuntimeError is a Tetra runtime error (index out of bounds, division by
 // zero, ...), carrying a message and source location string.

@@ -20,13 +20,13 @@ package vm
 
 import (
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/bytecode"
 	"repro/internal/guard"
 	"repro/internal/sched"
+	"repro/internal/sem"
 	"repro/internal/stdlib"
 	"repro/internal/token"
 	"repro/internal/types"
@@ -313,18 +313,14 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 		case bytecode.OpPop:
 			pop()
 		case bytecode.OpToReal:
-			v := pop()
-			if v.K == value.Int {
-				v = value.NewReal(float64(v.Int()))
-			}
-			push(v)
+			push(sem.ToReal(pop()))
 
 		case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul, bytecode.OpDiv, bytecode.OpMod:
 			r := pop()
 			l := pop()
-			v, err := arith(ins.Op, l, r, ch.Pos[pc])
+			v, err := sem.Arith(semOp(ins.Op), l, r)
 			if err != nil {
-				return false, value.Value{}, err
+				return false, value.Value{}, sem.At(err, ch.Pos[pc].String())
 			}
 			if g != nil && v.K == value.Str {
 				// String concatenation grows data; charge the built bytes.
@@ -337,9 +333,9 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 		case bytecode.OpArithConst:
 			// Fused const+arith (optimizer): rhs comes from the pool.
 			l := pop()
-			v, err := arith(bytecode.Op(ins.B), l, f.fn.Consts[ins.A], ch.Pos[pc])
+			v, err := sem.Arith(semOp(bytecode.Op(ins.B)), l, f.fn.Consts[ins.A])
 			if err != nil {
-				return false, value.Value{}, err
+				return false, value.Value{}, sem.At(err, ch.Pos[pc].String())
 			}
 			if g != nil && v.K == value.Str {
 				if k := g.AddAlloc(int64(len(v.Str()))); k != guard.OK {
@@ -349,27 +345,14 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 			push(v)
 
 		case bytecode.OpNeg:
-			v := pop()
-			if v.K == value.Int {
-				push(value.NewInt(-v.Int()))
-			} else {
-				push(value.NewReal(-v.Real()))
-			}
+			push(sem.Neg(pop()))
 		case bytecode.OpNot:
-			push(value.NewBool(!pop().Bool()))
+			push(sem.Not(pop()))
 
-		case bytecode.OpEq:
+		case bytecode.OpEq, bytecode.OpNe, bytecode.OpLt, bytecode.OpLe, bytecode.OpGt, bytecode.OpGe:
 			r := pop()
 			l := pop()
-			push(value.NewBool(value.Equal(l, r)))
-		case bytecode.OpNe:
-			r := pop()
-			l := pop()
-			push(value.NewBool(!value.Equal(l, r)))
-		case bytecode.OpLt, bytecode.OpLe, bytecode.OpGt, bytecode.OpGe:
-			r := pop()
-			l := pop()
-			push(value.NewBool(cmpBool(ins.Op, l, r)))
+			push(value.NewBool(sem.Compare(semOp(ins.Op), l, r)))
 
 		case bytecode.OpJump:
 			// A backward jump is a loop back-edge: re-check the stop flag
@@ -400,7 +383,7 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 			// matches the recorded sense.
 			r := pop()
 			l := pop()
-			if cmpBool(bytecode.Op(ins.B), l, r) == (ins.C != 0) {
+			if sem.Compare(semOp(bytecode.Op(ins.B)), l, r) == (ins.C != 0) {
 				if int(ins.A) <= pc && t.vm.stopped.Load() {
 					return false, value.Value{}, errStopped
 				}
@@ -448,37 +431,19 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 		case bytecode.OpIndex:
 			idx := pop()
 			x := pop()
-			i := idx.Int()
-			if x.K == value.Str {
-				s := x.Str()
-				ch2, ok := value.RuneAt(s, i)
-				if !ok {
-					return false, value.Value{}, rtErr(ch.Pos[pc], "index %d out of range for string of length %d", i, value.RuneLen(s))
-				}
-				push(value.NewString(ch2))
-				break
+			v, err := sem.Index(x, idx.Int())
+			if err != nil {
+				return false, value.Value{}, sem.At(err, ch.Pos[pc].String())
 			}
-			a := x.Array()
-			j := value.NormIndex(i, int64(a.Len()))
-			if !a.InRange(j) {
-				return false, value.Value{}, rtErr(ch.Pos[pc], "index %d out of range for array of length %d", i, a.Len())
-			}
-			push(a.Get(int(j)))
+			push(v)
 
 		case bytecode.OpStoreIndex:
 			v := pop()
 			idx := pop()
 			x := pop()
-			if x.K == value.Str {
-				return false, value.Value{}, rtErr(ch.Pos[pc], "strings are immutable; cannot assign to an index of a string")
+			if err := sem.SetIndex(x, idx.Int(), v); err != nil {
+				return false, value.Value{}, sem.At(err, ch.Pos[pc].String())
 			}
-			a := x.Array()
-			i := idx.Int()
-			j := value.NormIndex(i, int64(a.Len()))
-			if !a.InRange(j) {
-				return false, value.Value{}, rtErr(ch.Pos[pc], "index %d out of range for array of length %d", i, a.Len())
-			}
-			a.Set(int(j), v)
 
 		case bytecode.OpArray:
 			n := int(ins.A)
@@ -495,12 +460,9 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 		case bytecode.OpRange:
 			hi := pop()
 			lo := pop()
-			n := hi.Int() - lo.Int() + 1
-			if n < 0 {
-				n = 0
-			}
-			if n > 1<<28 {
-				return false, value.Value{}, rtErr(ch.Pos[pc], "range [%d .. %d] too large", lo.Int(), hi.Int())
+			n, rerr := sem.RangeLen(lo.Int(), hi.Int())
+			if rerr != nil {
+				return false, value.Value{}, sem.At(rerr, ch.Pos[pc].String())
 			}
 			if g != nil {
 				if k := g.AddAlloc(n); k != guard.OK {
@@ -523,7 +485,7 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 				// Materialize the string's Unicode characters once, into
 				// the compiler-synthesized hidden slot, so iteration is
 				// rune-correct without per-step decoding.
-				seq = value.NewArray(value.Runes(seq.Str()))
+				seq = value.NewArray(sem.RunesArray(seq.Str()))
 				f.store(ins.A, seq)
 			}
 			a := seq.Array()
@@ -584,12 +546,7 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 			// induction cell. The thread budget is charged per worker.
 			seq := pop()
 			sub := &f.fn.Chunks[ins.A]
-			var elems *value.Array
-			if seq.K == value.Str {
-				elems = value.Runes(seq.Str())
-			} else {
-				elems = seq.Array()
-			}
+			elems := sem.Elements(seq)
 			workers, loop := t.vm.opts.Sched.Loop(elems.Len())
 			var wg sync.WaitGroup
 			var spawnErr error
@@ -652,104 +609,14 @@ func builtinReturns(id int) bool {
 	return true
 }
 
-func arith(op bytecode.Op, l, r value.Value, pos token.Pos) (value.Value, error) {
-	if l.K == value.Str {
-		// Only + concatenates; any other opcode reaching here is a
-		// compiler or optimizer bug, not a user error — fail loudly
-		// instead of silently concatenating (matching interp/gort, where
-		// the checker rules non-+ string arithmetic out statically).
-		if op != bytecode.OpAdd {
-			return value.Value{}, rtErr(pos, "internal: %s applied to string operands", op)
-		}
-		return value.NewString(l.Str() + r.Str()), nil
-	}
-	if l.K == value.Int && r.K == value.Int {
-		a, b := l.Int(), r.Int()
-		switch op {
-		case bytecode.OpAdd:
-			return value.NewInt(a + b), nil
-		case bytecode.OpSub:
-			return value.NewInt(a - b), nil
-		case bytecode.OpMul:
-			return value.NewInt(a * b), nil
-		case bytecode.OpDiv:
-			if b == 0 {
-				return value.Value{}, rtErr(pos, "division by zero")
-			}
-			return value.NewInt(a / b), nil
-		default:
-			if b == 0 {
-				return value.Value{}, rtErr(pos, "modulo by zero")
-			}
-			return value.NewInt(a % b), nil
-		}
-	}
-	a, b := l.AsReal(), r.AsReal()
-	switch op {
-	case bytecode.OpAdd:
-		return value.NewReal(a + b), nil
-	case bytecode.OpSub:
-		return value.NewReal(a - b), nil
-	case bytecode.OpMul:
-		return value.NewReal(a * b), nil
-	case bytecode.OpDiv:
-		// Real division by zero raises like integer division does —
-		// uniform, explainable error semantics on every backend instead
-		// of a silent inf (LANGUAGE.md §Numbers).
-		if b == 0 {
-			return value.Value{}, rtErr(pos, "division by zero")
-		}
-		return value.NewReal(a / b), nil
-	default:
-		if b == 0 {
-			return value.Value{}, rtErr(pos, "modulo by zero")
-		}
-		return value.NewReal(math.Mod(a, b)), nil
-	}
+// semOps maps the arithmetic/comparison opcodes to their sem operators;
+// all evaluation happens in internal/sem, the shared semantics core.
+var semOps = [bytecode.OpGe + 1]sem.Op{
+	bytecode.OpAdd: sem.Add, bytecode.OpSub: sem.Sub, bytecode.OpMul: sem.Mul,
+	bytecode.OpDiv: sem.Div, bytecode.OpMod: sem.Mod,
+	bytecode.OpEq: sem.Eq, bytecode.OpNe: sem.Ne,
+	bytecode.OpLt: sem.Lt, bytecode.OpLe: sem.Le,
+	bytecode.OpGt: sem.Gt, bytecode.OpGe: sem.Ge,
 }
 
-// cmpBool evaluates any of the six comparison opcodes to a Go bool; shared
-// by the plain compare opcodes and the fused OpCmpJump.
-func cmpBool(op bytecode.Op, l, r value.Value) bool {
-	switch op {
-	case bytecode.OpEq:
-		return value.Equal(l, r)
-	case bytecode.OpNe:
-		return !value.Equal(l, r)
-	}
-	var cmp int
-	if l.K == value.Str {
-		switch {
-		case l.Str() < r.Str():
-			cmp = -1
-		case l.Str() > r.Str():
-			cmp = 1
-		}
-	} else if l.K == value.Int && r.K == value.Int {
-		a, b := l.Int(), r.Int()
-		switch {
-		case a < b:
-			cmp = -1
-		case a > b:
-			cmp = 1
-		}
-	} else {
-		a, b := l.AsReal(), r.AsReal()
-		switch {
-		case a < b:
-			cmp = -1
-		case a > b:
-			cmp = 1
-		}
-	}
-	switch op {
-	case bytecode.OpLt:
-		return cmp < 0
-	case bytecode.OpLe:
-		return cmp <= 0
-	case bytecode.OpGt:
-		return cmp > 0
-	default:
-		return cmp >= 0
-	}
-}
+func semOp(op bytecode.Op) sem.Op { return semOps[op] }
