@@ -19,6 +19,9 @@
 //	opt       O1: bytecode-optimizer ablation (VM at -O0/-O1/-O2 on
 //	          interpretation-bound workloads) plus the compile-cache
 //	          cold-vs-warm delta; writes BENCH_opt.json
+//	serve     SV1: tetrad execution-service throughput and latency at
+//	          admission caps of 1/4/8 in-flight executions, warm cache,
+//	          both backends; writes BENCH_serve.json
 //	all       everything except limits and scaling (default)
 //
 // Each speedup experiment prints the wall-clock table (meaningful on a
@@ -44,7 +47,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, limits, scaling, opt, sem, or all")
+	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, limits, scaling, opt, sem, serve, or all")
 	limit := flag.Int("limit", 200000, "E1: count primes below this limit")
 	fullScale := flag.Bool("paper-scale", false, "E1: use the paper's full workload (first million primes ⇒ limit 15485864); slow on the interpreter")
 	n := flag.Int("n", 10, "E2: number of TSP cities")
@@ -88,6 +91,12 @@ func run() int {
 			outPath = "BENCH_sem.json"
 		}
 		return semOverhead(*quick, *reps, outPath)
+	case "serve":
+		outPath := *out
+		if outPath == "BENCH_scaling.json" {
+			outPath = "BENCH_serve.json"
+		}
+		return serve(*quick, *reps, outPath)
 	case "all":
 		if rc := primes(*limit, workers, *reps); rc != 0 {
 			return rc
@@ -251,6 +260,22 @@ func semOverhead(quick bool, reps int, outPath string) int {
 	}
 	bench.PrintSemReport(rep)
 	if err := bench.WriteSemJSON(outPath, rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("\nwrote %s\n", outPath)
+	return 0
+}
+
+func serve(quick bool, reps int, outPath string) int {
+	fmt.Println("SV1: tetrad execution service — throughput/latency vs in-flight cap (warm cache)")
+	rep, err := bench.ServeExperiment(quick, reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Print(bench.FormatServeTable(rep))
+	if err := bench.WriteServeJSON(outPath, rep); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}

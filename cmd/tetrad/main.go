@@ -1,0 +1,48 @@
+// Command tetrad is the sandboxed Tetra execution service: the paper's
+// IDE workload — run untrusted student programs on demand (§III) — served
+// over HTTP at production scale.
+//
+// Usage:
+//
+//	tetrad [flags]
+//
+// Endpoints:
+//
+//	POST /run      execute one program: {"source": "...", "stdin": "...",
+//	               "backend": "interp"|"vm", "opt": 0|1|2,
+//	               "limits": {...}, "trace": bool, "race": bool}
+//	GET  /metrics  cache hit rate, in-flight, queue depth, latency
+//	               histograms, rejection counters
+//	GET  /healthz  load-balancer probe (503 while draining)
+//
+// Flags:
+//
+//	-addr          listen address (default :8714)
+//	-max-inflight  concurrent execution cap (default 2×GOMAXPROCS)
+//	-max-queue     admission queue bound (default 4×max-inflight)
+//	-queue-timeout max queue wait before 429 (default 1s)
+//	-drain-grace   shutdown grace before in-flight runs are cancelled
+//	-cache-entries compile cache capacity
+//
+// Ceiling flags (-timeout, -max-steps, -max-threads, -max-output,
+// -max-alloc) set the server-wide resource ceiling; unset fields take the
+// sandbox defaults. Per-request limits are clamped by this ceiling: a
+// client can tighten its own budget but never raise it.
+//
+// SIGINT/SIGTERM drains gracefully: admissions stop, in-flight executions
+// get the grace period, stragglers are cancelled through the resource
+// governor — which wakes even lock-parked programs.
+//
+// The implementation lives in internal/server and internal/cli so it can
+// be tested as a library.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.ServeMain(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -2,9 +2,22 @@ package repro
 
 import (
 	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"net/http"
+	"net/http/httptest"
 	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/server"
+	"repro/tetra"
 )
 
 // TestExamplesRun executes every example main end to end (deliverable
@@ -41,6 +54,181 @@ func TestExamplesRun(t *testing.T) {
 			for _, want := range c.wants {
 				if !strings.Contains(out.String(), want) {
 					t.Errorf("output missing %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}
+
+// exampleProgram is one Tetra program harvested from an example.
+type exampleProgram struct {
+	name string
+	src  string
+	// mode selects how the two server backends are checked:
+	//   strict — outputs must agree with each other and the library run
+	//   masked — outputs must agree after digit-masking (benign Tetra-level
+	//            races like the racy counter print a varying number)
+	//   loose  — only a well-formed response is required (the deadlock
+	//            demo may legitimately error or succeed per schedule)
+	mode string
+}
+
+// classifyExample assigns a check mode to an extracted source. The
+// intentionally nondeterministic teaching programs (racelab's racy counter
+// and lock-ordering deadlock, parallelmax's racy variant) are recognized
+// by the markers that make them nondeterministic.
+func classifyExample(src string) string {
+	switch {
+	case strings.Contains(src, "sleep(30)"): // lock-ordering deadlock demo
+		return "loose"
+	case strings.Contains(src, "bump(count)"): // racy counter
+		return "masked"
+	case strings.Contains(src, "time_ms()"): // prints wall-clock timings
+		return "masked"
+	case strings.Contains(src, "largest") && !strings.Contains(src, "lock"): // racy max
+		return "masked"
+	default:
+		return "strict"
+	}
+}
+
+// extractTetraSources parses one example's main.go and returns every
+// string literal that is a complete Tetra program (contains a main
+// function). This is what keeps examples honest: if an embedded program
+// stops compiling or drifts between backends, this test fails even though
+// the example binary itself is only exercised by TestExamplesRun.
+func extractTetraSources(t *testing.T, goFile string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, goFile, nil, 0)
+	if err != nil {
+		t.Fatalf("parsing %s: %v", goFile, err)
+	}
+	var out []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		if strings.Contains(s, "def main():") {
+			out = append(out, s)
+		}
+		return true
+	})
+	return out
+}
+
+var digitRun = regexp.MustCompile(`[0-9]+`)
+
+// TestExamplesThroughServer runs every examples/ program through the
+// tetrad execution service on BOTH backends, asserting the service
+// reproduces what the library produces. The intentionally nondeterministic
+// racelab programs are normalized (digit-masked) or reduced to a
+// well-formedness check, per classifyExample.
+func TestExamplesThroughServer(t *testing.T) {
+	var programs []exampleProgram
+	dirs := []string{"quickstart", "parallelsum", "parallelmax", "mandelbrot", "racelab"}
+	for _, dir := range dirs {
+		srcs := extractTetraSources(t, filepath.Join("examples", dir, "main.go"))
+		if len(srcs) == 0 {
+			t.Fatalf("examples/%s: no embedded Tetra programs found", dir)
+		}
+		for i, src := range srcs {
+			programs = append(programs, exampleProgram{
+				name: dir + "_" + strconv.Itoa(i),
+				src:  src,
+				mode: classifyExample(src),
+			})
+		}
+	}
+	// primes and tsp drive generated workload sources through the bench
+	// package; cover the same generators at a test-friendly scale.
+	programs = append(programs,
+		exampleProgram{name: "primes_gen", src: bench.PrimesSource(2000, 2), mode: "strict"},
+		exampleProgram{name: "tsp_gen", src: bench.TSPSource(6, 2), mode: "strict"},
+	)
+
+	ts := httptest.NewServer(server.New(server.Options{}))
+	defer ts.Close()
+
+	// Programs that read stdin get a fixed input (quickstart reads n).
+	const stdin = "10\n"
+
+	runServer := func(t *testing.T, p exampleProgram, backend string) *server.RunResponse {
+		t.Helper()
+		req := server.RunRequest{Source: p.src, File: p.name + ".ttr", Stdin: stdin, Backend: backend}
+		if p.mode == "loose" {
+			// The deadlock demo only ends when a budget trips (the VM has
+			// no live deadlock detection); tighten the request's deadline
+			// so the test doesn't wait out the server's full ceiling.
+			req.Limits = &server.LimitSpec{TimeoutMS: 2000}
+		}
+		data, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s on %s: status %d", p.name, backend, resp.StatusCode)
+		}
+		var rr server.RunResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		return &rr
+	}
+
+	for _, p := range programs {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			interp := runServer(t, p, server.BackendInterp)
+			vm := runServer(t, p, server.BackendVM)
+
+			switch p.mode {
+			case "loose":
+				// Any schedule is fine as long as the service stayed in
+				// control: a clean finish or an explained runtime error
+				// (deadlock / limit), never a hang or transport failure.
+				for _, rr := range []*server.RunResponse{interp, vm} {
+					if !rr.OK && rr.Error == nil {
+						t.Errorf("response neither ok nor errored: %+v", rr)
+					}
+				}
+			case "masked":
+				if interp.Error != nil || vm.Error != nil {
+					t.Fatalf("racy-but-safe program errored: interp=%+v vm=%+v", interp.Error, vm.Error)
+				}
+				im := digitRun.ReplaceAllString(interp.Stdout, "N")
+				vmOut := digitRun.ReplaceAllString(vm.Stdout, "N")
+				if im != vmOut {
+					t.Errorf("masked outputs differ:\ninterp: %q\nvm:     %q", im, vmOut)
+				}
+			default: // strict
+				if interp.Error != nil || vm.Error != nil {
+					t.Fatalf("errored: interp=%+v vm=%+v", interp.Error, vm.Error)
+				}
+				// Library ground truth on the interpreter.
+				prog, err := tetra.Compile(p.name+".ttr", p.src)
+				if err != nil {
+					t.Fatalf("library compile: %v", err)
+				}
+				var want bytes.Buffer
+				if err := prog.Run(tetra.Config{Stdin: strings.NewReader(stdin), Stdout: &want}); err != nil {
+					t.Fatalf("library run: %v", err)
+				}
+				if interp.Stdout != want.String() {
+					t.Errorf("server interp differs from library:\nserver: %q\nlib:    %q", interp.Stdout, want.String())
+				}
+				if vm.Stdout != want.String() {
+					t.Errorf("server vm differs from library:\nserver: %q\nlib:    %q", vm.Stdout, want.String())
 				}
 			}
 		})

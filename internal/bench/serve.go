@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// The serve experiment (SV1): what does the execution service sustain on
+// one host? Warm-cache request latency and throughput for a small program
+// at admission caps of 1, 4 and 8 in-flight executions, per backend.
+// Reported as BENCH_serve.json.
+
+// ServeRow is one (backend, in-flight cap) measurement.
+type ServeRow struct {
+	Backend      string  `json:"backend"`
+	InFlight     int     `json:"in_flight"`  // admission cap == client concurrency
+	Requests     int     `json:"requests"`   // completed 200s
+	Rejected     int     `json:"rejected"`   // admission 429s (should be 0: clients == cap)
+	WallNS       int64   `json:"wall_ns"`    // whole-batch wall clock
+	Throughput   float64 `json:"throughput"` // requests per second
+	P50LatencyNS int64   `json:"p50_latency_ns"`
+	P95LatencyNS int64   `json:"p95_latency_ns"`
+	MaxLatencyNS int64   `json:"max_latency_ns"`
+}
+
+// ServeReport is the BENCH_serve.json document.
+type ServeReport struct {
+	Experiment   string     `json:"experiment"`
+	HostCores    int        `json:"host_cores"`
+	Quick        bool       `json:"quick"`
+	Workload     string     `json:"workload"`
+	CacheHitRate float64    `json:"cache_hit_rate"` // across the whole run, after warmup
+	Rows         []ServeRow `json:"rows"`
+}
+
+// ServeExperiment boots an in-process tetrad (real HTTP, loopback
+// listener), warms the compile cache, then measures saturated-client
+// throughput and latency at each in-flight cap.
+func ServeExperiment(quick bool, reps int) (*ServeReport, error) {
+	perPoint := 1200
+	if quick {
+		perPoint = 200
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	// A small arithmetic workload: heavy enough that execution dominates
+	// the HTTP overhead, light enough that a full sweep stays in seconds.
+	iters := 2000
+	if quick {
+		iters = 500
+	}
+	src := ArithLoopSource(iters)
+
+	rep := &ServeReport{
+		Experiment: "serve: request latency/throughput vs in-flight cap (warm cache)",
+		HostCores:  runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		Workload:   fmt.Sprintf("arith_loop(%d)", iters),
+	}
+
+	var lastHitRate float64
+	for _, backend := range []string{server.BackendInterp, server.BackendVM} {
+		for _, inflight := range []int{1, 4, 8} {
+			srv := server.New(server.Options{
+				MaxInFlight:  inflight,
+				MaxQueue:     4 * inflight,
+				QueueTimeout: 30 * time.Second,
+			})
+			ts := httptest.NewServer(srv)
+			body, err := json.Marshal(server.RunRequest{Source: src, File: "bench.ttr", Backend: backend})
+			if err != nil {
+				ts.Close()
+				return nil, err
+			}
+			// Warm the cache so the steady state is measured, not the
+			// cold compile.
+			if _, err := postOnce(ts.URL, body); err != nil {
+				ts.Close()
+				return nil, err
+			}
+
+			best := ServeRow{Backend: backend, InFlight: inflight}
+			for r := 0; r < reps; r++ {
+				row, err := serveBatch(ts.URL, body, inflight, perPoint)
+				if err != nil {
+					ts.Close()
+					return nil, err
+				}
+				if best.WallNS == 0 || row.WallNS < best.WallNS {
+					best = row
+				}
+			}
+			best.Backend = backend
+			best.InFlight = inflight
+			m := srv.Metrics()
+			if total := m.Cache.Hits + m.Cache.Misses; total > 0 {
+				lastHitRate = m.Cache.HitRate
+			}
+			ts.Close()
+			rep.Rows = append(rep.Rows, best)
+		}
+	}
+	rep.CacheHitRate = lastHitRate
+	return rep, nil
+}
+
+// serveBatch fires total requests from conc concurrent clients and
+// collects per-request latencies.
+func serveBatch(url string, body []byte, conc, total int) (ServeRow, error) {
+	latencies := make([]time.Duration, total)
+	errs := make(chan error, conc)
+	var next, rejected int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(total) {
+			return -1
+		}
+		next++
+		return int(next - 1)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				reqStart := time.Now()
+				status, err := postOnce(url, body)
+				if err != nil {
+					errs <- err
+					return
+				}
+				latencies[i] = time.Since(reqStart)
+				if status == http.StatusTooManyRequests {
+					mu.Lock()
+					rejected++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	select {
+	case err := <-errs:
+		return ServeRow{}, err
+	default:
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	row := ServeRow{
+		Requests:   total - int(rejected),
+		Rejected:   int(rejected),
+		WallNS:     wall.Nanoseconds(),
+		Throughput: float64(total) / wall.Seconds(),
+	}
+	if total > 0 {
+		row.P50LatencyNS = latencies[total/2].Nanoseconds()
+		row.P95LatencyNS = latencies[total*95/100].Nanoseconds()
+		row.MaxLatencyNS = latencies[total-1].Nanoseconds()
+	}
+	return row, nil
+}
+
+func postOnce(url string, body []byte) (int, error) {
+	resp, err := http.Post(url+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var rr server.RunResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			return resp.StatusCode, err
+		}
+		if !rr.OK {
+			return resp.StatusCode, fmt.Errorf("benchmark program failed: %+v", rr.Error)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// WriteServeJSON writes the report for committing as BENCH_serve.json.
+func WriteServeJSON(path string, rep *ServeReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatServeTable renders the report for the terminal.
+func FormatServeTable(rep *ServeReport) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "  workload %s, warm cache (hit rate %.3f), %d host cores\n",
+		rep.Workload, rep.CacheHitRate, rep.HostCores)
+	fmt.Fprintf(&b, "  %-8s %-9s %10s %12s %12s %12s\n",
+		"backend", "inflight", "req/s", "p50", "p95", "max")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(&b, "  %-8s %-9d %10.1f %12s %12s %12s\n",
+			r.Backend, r.InFlight, r.Throughput,
+			time.Duration(r.P50LatencyNS).Round(10*time.Microsecond),
+			time.Duration(r.P95LatencyNS).Round(10*time.Microsecond),
+			time.Duration(r.MaxLatencyNS).Round(10*time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/server"
+)
+
+// ServeMain runs the tetrad command (cmd/tetrad is a thin wrapper): it
+// boots the sandboxed execution service and serves until SIGINT/SIGTERM,
+// then drains gracefully. It returns the process exit code.
+func ServeMain(args []string, stdout, stderr io.Writer) int {
+	return serveMain(args, stdout, stderr, nil)
+}
+
+// serveMain is ServeMain with an injectable stop channel so tests can
+// shut the server down without sending real signals.
+func serveMain(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
+	fs := flag.NewFlagSet("tetrad", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8714", "listen address")
+	maxInFlight := fs.Int("max-inflight", 0, "maximum concurrently-executing programs (0 = 2×GOMAXPROCS)")
+	maxQueue := fs.Int("max-queue", 0, "maximum requests waiting for an execution slot (0 = 4×max-inflight)")
+	queueTimeout := fs.Duration("queue-timeout", time.Second, "how long a queued request waits before a 429")
+	drainGrace := fs.Duration("drain-grace", guard.DefaultGrace, "how long shutdown lets in-flight runs finish before cancelling them")
+	cacheEntries := fs.Int("cache-entries", 0, "compile cache capacity (0 = default)")
+	timeout := fs.Duration("timeout", 0, "ceiling: wall-clock limit per run (0 = sandbox default)")
+	maxSteps := fs.Int64("max-steps", 0, "ceiling: statement/instruction budget per run (0 = sandbox default)")
+	maxThreads := fs.Int64("max-threads", 0, "ceiling: concurrently-live threads per run (0 = sandbox default)")
+	maxOutput := fs.Int64("max-output", 0, "ceiling: bytes of program output per run (0 = sandbox default)")
+	maxAlloc := fs.Int64("max-alloc", 0, "ceiling: allocation cells per run (0 = sandbox default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: tetrad [flags]")
+		fs.PrintDefaults()
+		return 2
+	}
+
+	opts := server.Options{
+		Ceiling: guard.Limits{
+			Deadline:       *timeout,
+			MaxSteps:       *maxSteps,
+			MaxThreads:     *maxThreads,
+			MaxOutputBytes: *maxOutput,
+			MaxAllocCells:  *maxAlloc,
+		},
+		MaxInFlight:  *maxInFlight,
+		MaxQueue:     *maxQueue,
+		QueueTimeout: *queueTimeout,
+		DrainGrace:   *drainGrace,
+		CacheEntries: *cacheEntries,
+	}
+	srv := server.New(opts)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	ceil := srv.Ceiling()
+	fmt.Fprintf(stdout, "tetrad: listening on %s\n", ln.Addr())
+	fmt.Fprintf(stdout, "tetrad: ceiling deadline=%s steps=%d threads=%d output=%dB alloc=%d cells\n",
+		ceil.Deadline, ceil.MaxSteps, ceil.MaxThreads, ceil.MaxOutputBytes, ceil.MaxAllocCells)
+
+	httpSrv := &http.Server{Handler: srv}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(stderr, err)
+		return 1
+	case sig := <-sigCh:
+		fmt.Fprintf(stdout, "tetrad: %s received, draining\n", sig)
+	case <-stop:
+		fmt.Fprintln(stdout, "tetrad: stop requested, draining")
+	}
+
+	drainErr := srv.Drain(nil)
+	if err := httpSrv.Close(); err != nil {
+		fmt.Fprintln(stderr, err)
+	}
+	<-errCh // Serve has returned
+	if drainErr != nil {
+		fmt.Fprintln(stderr, drainErr)
+		return 1
+	}
+	fmt.Fprintln(stdout, "tetrad: drained cleanly")
+	return 0
+}

@@ -1,0 +1,101 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing the server's
+// stdout while it runs.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestServeMainBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if rc := ServeMain([]string{"-no-such-flag"}, &out, &errOut); rc != 2 {
+		t.Errorf("bad flag: exit %d, want 2", rc)
+	}
+	if rc := ServeMain([]string{"positional"}, &out, &errOut); rc != 2 {
+		t.Errorf("positional arg: exit %d, want 2", rc)
+	}
+	if rc := ServeMain([]string{"-addr", "256.0.0.1:bad"}, &out, &errOut); rc != 1 {
+		t.Errorf("unlistenable addr: exit %d, want 1", rc)
+	}
+}
+
+// TestServeMainBootsAndDrains boots tetrad on an ephemeral port through
+// the CLI layer, executes a program over HTTP, then stops it and requires
+// a clean drain (exit 0).
+func TestServeMainBootsAndDrains(t *testing.T) {
+	var out syncBuffer
+	var errOut bytes.Buffer
+	stop := make(chan struct{})
+	done := make(chan int, 1)
+	go func() {
+		done <- serveMain([]string{"-addr", "127.0.0.1:0", "-drain-grace", "500ms"}, &out, &errOut, stop)
+	}()
+
+	// Scrape the bound address from the startup banner.
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	var addr string
+	for i := 0; i < 100; i++ {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("no listen banner; stdout:\n%s\nstderr:\n%s", out.String(), errOut.String())
+	}
+
+	resp, err := http.Post("http://"+addr+"/run", "application/json",
+		strings.NewReader(`{"source": "def main():\n    print(40 + 2)\n"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr struct {
+		OK     bool   `json:"ok"`
+		Stdout string `json:"stdout"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.OK || rr.Stdout != "42\n" {
+		t.Errorf("got %+v", rr)
+	}
+
+	close(stop)
+	select {
+	case rc := <-done:
+		if rc != 0 {
+			t.Errorf("exit %d, want 0\nstderr:\n%s", rc, errOut.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serveMain did not exit after stop")
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Errorf("missing drain confirmation:\n%s", out.String())
+	}
+}

@@ -69,6 +69,28 @@ func (c *CompileCache) Stats() CacheStats {
 	return CacheStats{Hits: c.hits, Misses: c.misses}
 }
 
+// PeekAST reports whether the checked AST for (file, src) is already
+// cached, without compiling or touching the hit/miss counters. The answer
+// is advisory under concurrency — an entry may be evicted or inserted
+// between Peek and Compile — which is fine for its use (per-request
+// cache-hit reporting in the execution service).
+func (c *CompileCache) PeekAST(file, src string) bool {
+	key := sourceKey(file, src)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.asts[key]
+	return ok
+}
+
+// PeekBytecode is PeekAST for the bytecode table at one optimization level.
+func (c *CompileCache) PeekBytecode(file, src string, level int) bool {
+	key := bcKey{hash: sourceKey(file, src), level: level}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.bcs[key]
+	return ok
+}
+
 func sourceKey(file, src string) [sha256.Size]byte {
 	h := sha256.New()
 	h.Write([]byte(file))

@@ -857,12 +857,18 @@ func (r *lockRegistry) acquire(t *thread, s *ast.LockStmt) error {
 func (r *lockRegistry) release(idx int) {
 	r.mu.Lock()
 	r.graph.SetOwner(idx, -1)
-	r.mu.Unlock()
+	// Broadcast under mu: a waiter between its state check and parking
+	// still holds mu, so it cannot miss a wakeup sent here.
 	r.cond.Broadcast()
+	r.mu.Unlock()
 }
 
 // wake rouses every parked waiter so it re-checks the stop/trip state.
-func (r *lockRegistry) wake() { r.cond.Broadcast() }
+func (r *lockRegistry) wake() {
+	r.mu.Lock()
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
 
 // eval evaluates an expression to a value.
 func (t *thread) eval(f *frame, e ast.Expr) (value.Value, error) {

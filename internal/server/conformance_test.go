@@ -1,0 +1,123 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/server"
+)
+
+// TestServerConformanceGoldenCorpus is the black-box conformance suite:
+// every golden program runs through POST /run on both backends (VM at -O0
+// and -O2) and the response's stdout must be byte-identical to what the
+// CLI path produces for the same invocation — the server must be a
+// transport, never a semantic layer. The CLI output is itself checked
+// against the committed golden, so a drift in either path fails loudly.
+func TestServerConformanceGoldenCorpus(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "programs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(server.Options{}))
+	defer ts.Close()
+
+	post := func(t *testing.T, req server.RunRequest) *server.RunResponse {
+		t.Helper()
+		data, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/run", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var rr server.RunResponse
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			t.Fatal(err)
+		}
+		return &rr
+	}
+
+	ran := 0
+	for _, entry := range entries {
+		name := entry.Name()
+		if !strings.HasSuffix(name, ".ttr") {
+			continue
+		}
+		ran++
+		base := strings.TrimSuffix(name, ".ttr")
+		t.Run(base, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden, err := os.ReadFile(filepath.Join(dir, base+".out"))
+			if err != nil {
+				t.Fatalf("missing golden: %v", err)
+			}
+			input := ""
+			if data, err := os.ReadFile(filepath.Join(dir, base+".in")); err == nil {
+				input = string(data)
+			}
+
+			// The CLI path, per backend/level. cliOutput also asserts the
+			// CLI still matches the committed golden, anchoring both
+			// comparisons to the same bytes.
+			type variant struct {
+				label   string
+				req     server.RunRequest
+				cliArgs []string
+			}
+			o0, o2 := 0, 2
+			file := filepath.Join(dir, name)
+			variants := []variant{
+				{"interp", server.RunRequest{Source: string(src), Stdin: input, File: name},
+					[]string{file}},
+				{"vm-O0", server.RunRequest{Source: string(src), Stdin: input, File: name, Backend: server.BackendVM, Opt: &o0},
+					[]string{"-vm", "-O", "0", file}},
+				{"vm-O2", server.RunRequest{Source: string(src), Stdin: input, File: name, Backend: server.BackendVM, Opt: &o2},
+					[]string{"-vm", "-O", "2", file}},
+			}
+			for _, v := range variants {
+				cliOut := cliOutput(t, v.cliArgs, input)
+				if cliOut != string(golden) {
+					t.Fatalf("%s: CLI output drifted from golden:\n%s", v.label, cliOut)
+				}
+				rr := post(t, v.req)
+				if rr.Error != nil {
+					t.Fatalf("%s: server error: %+v", v.label, rr.Error)
+				}
+				if rr.Stdout != cliOut {
+					t.Errorf("%s: server stdout differs from CLI:\nserver:\n%q\ncli:\n%q",
+						v.label, rr.Stdout, cliOut)
+				}
+			}
+		})
+	}
+	if ran < 10 {
+		t.Errorf("corpus unexpectedly small: %d programs", ran)
+	}
+}
+
+// cliOutput runs the tetra CLI in-process and returns its stdout,
+// failing the test on a non-zero exit.
+func cliOutput(t *testing.T, args []string, input string) string {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	if rc := cli.Main(args, strings.NewReader(input), &out, &errOut); rc != 0 {
+		t.Fatalf("cli %v: exit %d\n%s", args, rc, errOut.String())
+	}
+	return out.String()
+}

@@ -1,0 +1,74 @@
+package server_test
+
+import (
+	"encoding/json"
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/server"
+)
+
+// FuzzDecodeRunRequest hammers the request decoder with malformed JSON,
+// absurd limit values and invalid UTF-8: it must never panic, and any
+// request it accepts must satisfy the normalization invariants the
+// execution path relies on.
+func FuzzDecodeRunRequest(f *testing.F) {
+	seeds := []string{
+		`{"source": "def main():\n    pass\n"}`,
+		`{"source": "def main():\n    pass\n", "backend": "vm", "opt": 2}`,
+		`{"source": "x", "limits": {"timeout_ms": 100, "max_steps": 100000}}`,
+		`{"source": "x", "limits": {"max_steps": -1}}`,
+		`{"source": "x", "limits": {"timeout_ms": 9223372036854775807}}`,
+		`{"source": "x", "opt": 99}`,
+		`{"source": "x", "backend": "interp", "trace": true, "race": true}`,
+		`{"sourec": "typo"}`,
+		`{"source": "x"} {"source": "y"}`,
+		`{"source": "��"}`,
+		"{\"source\": \"\xff\xfe broken\"}",
+		`[1, 2, 3]`,
+		`"just a string"`,
+		``,
+		`{}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := server.DecodeRunRequest(data)
+		if err != nil {
+			if req != nil {
+				t.Fatal("non-nil request alongside an error")
+			}
+			return
+		}
+		// Accepted requests must be normalized and safe to execute.
+		if req.Source == "" {
+			t.Fatal("accepted a request with empty source")
+		}
+		if !utf8.ValidString(req.Source) || !utf8.ValidString(req.Stdin) || !utf8.ValidString(req.File) {
+			t.Fatal("accepted invalid UTF-8")
+		}
+		if req.File == "" {
+			t.Fatal("file not defaulted")
+		}
+		if req.Backend != server.BackendInterp && req.Backend != server.BackendVM {
+			t.Fatalf("unnormalized backend %q", req.Backend)
+		}
+		if req.Opt != nil && (*req.Opt < 0 || *req.Opt > server.MaxOptLevel) {
+			t.Fatalf("accepted opt %d", *req.Opt)
+		}
+		if (req.Trace || req.Race) && req.Backend != server.BackendInterp {
+			t.Fatal("accepted trace/race on a non-interp backend")
+		}
+		if l := req.Limits; l != nil {
+			if l.TimeoutMS < 0 || l.MaxSteps < 0 || l.MaxThreads < 0 || l.MaxOutputBytes < 0 || l.MaxAllocCells < 0 {
+				t.Fatalf("accepted negative limits %+v", l)
+			}
+		}
+		// The accepted request must round-trip through encoding (the
+		// benchmark client and docs rely on the wire form being stable).
+		if _, err := json.Marshal(req); err != nil {
+			t.Fatalf("accepted request does not re-encode: %v", err)
+		}
+	})
+}

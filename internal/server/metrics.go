@@ -1,0 +1,109 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// bucketBoundsMS are the latency histogram upper bounds, in milliseconds.
+// Exponential-ish coverage from sub-millisecond cache hits to the sandbox
+// deadline; the final implicit bucket is +Inf.
+var bucketBoundsMS = []float64{0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// numBuckets counts the bounded buckets plus the implicit +Inf bucket.
+const numBuckets = 15
+
+// histogram is a fixed-bucket latency histogram, safe for concurrent use.
+type histogram struct {
+	counts    [numBuckets]atomic.Int64
+	sumMicros atomic.Int64
+	n         atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(bucketBoundsMS) && ms > bucketBoundsMS[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumMicros.Add(d.Microseconds())
+	h.n.Add(1)
+}
+
+// HistogramBucket is one (le, count) histogram row; LEms < 0 encodes +Inf.
+type HistogramBucket struct {
+	LEms  float64 `json:"le_ms"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is the exported state of one latency histogram.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	MeanMS  float64           `json:"mean_ms"`
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.n.Load()}
+	if s.Count > 0 {
+		s.MeanMS = float64(h.sumMicros.Load()) / 1000 / float64(s.Count)
+	}
+	for i := range h.counts {
+		le := -1.0 // +Inf
+		if i < len(bucketBoundsMS) {
+			le = bucketBoundsMS[i]
+		}
+		if c := h.counts[i].Load(); c > 0 {
+			s.Buckets = append(s.Buckets, HistogramBucket{LEms: le, Count: c})
+		}
+	}
+	return s
+}
+
+// metrics is the server's counter set. All fields are atomics; the
+// /metrics endpoint serves a consistent-enough snapshot without a lock.
+type metrics struct {
+	requests      atomic.Int64
+	okRuns        atomic.Int64
+	compileErrors atomic.Int64
+	runtimeErrors atomic.Int64
+	rejected429   atomic.Int64
+	rejected503   atomic.Int64
+	badRequests   atomic.Int64
+	inFlight      atomic.Int64
+	queueDepth    atomic.Int64
+
+	latInterp histogram
+	latVM     histogram
+}
+
+func (m *metrics) latency(backend string) *histogram {
+	if backend == BackendVM {
+		return &m.latVM
+	}
+	return &m.latInterp
+}
+
+// CacheMetrics reports compile-cache effectiveness.
+type CacheMetrics struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// MetricsSnapshot is the JSON body of GET /metrics.
+type MetricsSnapshot struct {
+	Draining      bool                         `json:"draining"`
+	InFlight      int64                        `json:"in_flight"`
+	QueueDepth    int64                        `json:"queue_depth"`
+	Requests      int64                        `json:"requests"`
+	OKRuns        int64                        `json:"ok_runs"`
+	CompileErrors int64                        `json:"compile_errors"`
+	RuntimeErrors int64                        `json:"runtime_errors"`
+	Rejected429   int64                        `json:"rejected_429"`
+	Rejected503   int64                        `json:"rejected_503"`
+	BadRequests   int64                        `json:"bad_requests"`
+	Cache         CacheMetrics                 `json:"cache"`
+	Latency       map[string]HistogramSnapshot `json:"latency"`
+}

@@ -1,0 +1,448 @@
+// Package server is tetrad, the sandboxed Tetra execution service: the
+// paper's IDE (§III) exists to run untrusted student programs on demand,
+// and this package exposes that workload over HTTP at production scale.
+//
+// POST /run accepts one program (source, stdin, backend choice, -O level,
+// per-request limit overrides) and answers with the program's output and
+// diagnostics. Three in-tree mechanisms make it safe to point at the open
+// internet:
+//
+//   - every execution runs under a guard.Governor whose budgets are the
+//     request's limits clamped by a server-wide sandbox ceiling — a client
+//     can tighten its own budget but never raise it;
+//   - compilation goes through one shared core.CompileCache, so the
+//     steady-state cost of a popular exercise is a map lookup (~250×
+//     cheaper than a cold compile, BENCH_opt.json);
+//   - an admission controller bounds in-flight executions and queue wait,
+//     converting overload into prompt, well-formed 429s instead of
+//     unbounded goroutine and memory growth.
+//
+// GET /metrics exposes cache hit rate, in-flight count, queue depth,
+// per-backend latency histograms and rejection counters; GET /healthz is
+// the load-balancer probe and flips to 503 when the server is draining.
+//
+// Shutdown is graceful: Drain stops admissions, waits for in-flight runs,
+// and after the grace period cancels stragglers through the governor trip
+// path — which wakes threads parked on Tetra locks, so even a program
+// blocked inside `lock:` exits promptly (the liveness concern of "Fencing
+// off Go", Lange et al.).
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/guard"
+	"repro/internal/racedetect"
+	"repro/internal/trace"
+	"repro/internal/value"
+)
+
+// Options configures a Server; the zero value serves sandbox-limited
+// executions with sensible production defaults.
+type Options struct {
+	// Ceiling is the server-wide resource ceiling every execution is
+	// clamped by. The zero value applies the sandbox defaults
+	// (guard.Limits.WithSandboxDefaults); to genuinely unbound an axis set
+	// its field negative.
+	Ceiling guard.Limits
+	// NoSandboxDefaults serves the Ceiling exactly as given, without
+	// filling unset fields with sandbox defaults. For trusted deployments.
+	NoSandboxDefaults bool
+	// MaxInFlight bounds concurrently-executing programs. Default
+	// 2×GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot; arrivals
+	// beyond it are rejected immediately with 429. Default 4×MaxInFlight.
+	MaxQueue int
+	// QueueTimeout bounds how long an admitted-queue request waits for a
+	// slot before a 429. Default 1s.
+	QueueTimeout time.Duration
+	// DrainGrace is how long Drain lets in-flight executions finish before
+	// cancelling them via the governor. Default guard.DefaultGrace.
+	DrainGrace time.Duration
+	// CacheEntries sizes the shared compile cache (<= 0 selects the
+	// core default).
+	CacheEntries int
+	// MaxBodyBytes bounds the request body. Default 4 MiB.
+	MaxBodyBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if !o.NoSandboxDefaults {
+		o.Ceiling = o.Ceiling.WithSandboxDefaults()
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 4 * o.MaxInFlight
+	}
+	if o.QueueTimeout <= 0 {
+		o.QueueTimeout = time.Second
+	}
+	if o.DrainGrace <= 0 {
+		o.DrainGrace = guard.DefaultGrace
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 4 << 20
+	}
+	return o
+}
+
+// canceler is the slice of the backend API the drain path needs: both
+// interp.Interp and vm.VM satisfy it.
+type canceler interface{ Cancel() }
+
+// Server is the tetrad HTTP handler. Create with New; it is immediately
+// ready to serve and safe for concurrent use.
+type Server struct {
+	opts  Options
+	cache *core.CompileCache
+	sem   chan struct{}
+
+	draining  atomic.Bool
+	drainCh   chan struct{}
+	drainOnce sync.Once
+
+	mu      sync.Mutex
+	running map[uint64]canceler
+	nextID  atomic.Uint64
+
+	met metrics
+}
+
+// New returns a Server enforcing opts.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		opts:    opts,
+		cache:   core.NewCompileCache(opts.CacheEntries),
+		sem:     make(chan struct{}, opts.MaxInFlight),
+		drainCh: make(chan struct{}),
+		running: make(map[uint64]canceler),
+	}
+}
+
+// Ceiling returns the effective server-wide limit ceiling.
+func (s *Server) Ceiling() guard.Limits { return s.opts.Ceiling }
+
+// Cache exposes the shared compile cache (for tests and benchmarks).
+func (s *Server) Cache() *core.CompileCache { return s.cache }
+
+// ServeHTTP routes the three endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/run":
+		s.handleRun(w, r)
+	case "/metrics":
+		s.handleMetrics(w, r)
+	case "/healthz":
+		s.handleHealthz(w, r)
+	default:
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no such endpoint %q", r.URL.Path))
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST /run with a JSON body")
+		return
+	}
+	s.met.requests.Add(1)
+	if s.draining.Load() {
+		s.met.rejected503.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxBodyBytes+1))
+	if err != nil {
+		s.met.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
+		return
+	}
+	if int64(len(body)) > s.opts.MaxBodyBytes {
+		s.met.badRequests.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("request body exceeds %d bytes", s.opts.MaxBodyBytes))
+		return
+	}
+	req, err := DecodeRunRequest(body)
+	if err != nil {
+		s.met.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	release, status, msg := s.admit(r)
+	if status != 0 {
+		if status == http.StatusTooManyRequests {
+			s.met.rejected429.Add(1)
+			w.Header().Set("Retry-After", "1")
+		} else {
+			s.met.rejected503.Add(1)
+		}
+		writeError(w, status, msg)
+		return
+	}
+	defer release()
+
+	writeJSON(w, http.StatusOK, s.execute(req))
+}
+
+// admit implements the admission controller: a bounded queue in front of a
+// bounded set of execution slots. It returns a release func on success, or
+// a non-zero HTTP status with a diagnostic on rejection.
+func (s *Server) admit(r *http.Request) (release func(), status int, msg string) {
+	if d := s.met.queueDepth.Add(1); d > int64(s.opts.MaxQueue) {
+		s.met.queueDepth.Add(-1)
+		return nil, http.StatusTooManyRequests,
+			fmt.Sprintf("admission queue full (%d waiting, %d executing); retry later",
+				s.opts.MaxQueue, s.opts.MaxInFlight)
+	}
+	defer s.met.queueDepth.Add(-1)
+
+	t := time.NewTimer(s.opts.QueueTimeout)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+	case <-t.C:
+		return nil, http.StatusTooManyRequests,
+			fmt.Sprintf("no execution slot within %s (%d in flight); retry later",
+				s.opts.QueueTimeout, s.opts.MaxInFlight)
+	case <-s.drainCh:
+		return nil, http.StatusServiceUnavailable, "server is draining"
+	case <-r.Context().Done():
+		return nil, http.StatusServiceUnavailable, "client went away while queued"
+	}
+	if s.draining.Load() {
+		<-s.sem
+		return nil, http.StatusServiceUnavailable, "server is draining"
+	}
+	s.met.inFlight.Add(1)
+	return func() {
+		s.met.inFlight.Add(-1)
+		<-s.sem
+	}, 0, ""
+}
+
+// execute compiles and runs one admitted request, always returning a
+// well-formed response (compile and runtime failures are data, not HTTP
+// errors).
+func (s *Server) execute(req *RunRequest) *RunResponse {
+	resp := &RunResponse{Backend: req.Backend, Opt: req.optLevel()}
+	eff := ClampLimits(req.Limits, s.opts.Ceiling)
+
+	var out bytes.Buffer
+	cfg := core.Config{
+		Stdin:  strings.NewReader(req.Stdin),
+		Stdout: &out,
+		Limits: eff,
+	}
+	var col *trace.Collector
+	if req.Trace || req.Race {
+		col = trace.NewCollector()
+		cfg.Tracer = col
+		cfg.TraceVars = req.Race
+	}
+
+	compileStart := time.Now()
+	var run func() error
+	switch req.Backend {
+	case BackendVM:
+		resp.CacheHit = s.cache.PeekBytecode(req.File, req.Source, resp.Opt)
+		bc, err := s.cache.CompileBytecode(req.File, req.Source, resp.Opt)
+		if err != nil {
+			return s.compileFailed(resp, err, compileStart)
+		}
+		m := core.NewVM(bc, cfg)
+		run = s.tracked(m, m.Run)
+	default:
+		resp.CacheHit = s.cache.PeekAST(req.File, req.Source)
+		prog, err := s.cache.Compile(req.File, req.Source)
+		if err != nil {
+			return s.compileFailed(resp, err, compileStart)
+		}
+		in := core.NewInterp(prog, cfg)
+		run = s.tracked(in, in.Run)
+	}
+	resp.CompileMicros = time.Since(compileStart).Microseconds()
+
+	runStart := time.Now()
+	runErr := run()
+	elapsed := time.Since(runStart)
+	resp.RunMicros = elapsed.Microseconds()
+	s.met.latency(req.Backend).observe(elapsed)
+
+	resp.Stdout = out.String()
+	if runErr != nil {
+		s.met.runtimeErrors.Add(1)
+		re := &RunError{Stage: "runtime", Message: runErr.Error()}
+		var rte *value.RuntimeError
+		if errors.As(runErr, &rte) {
+			re.Pos = rte.Pos
+		}
+		resp.Error = re
+	} else {
+		s.met.okRuns.Add(1)
+		resp.OK = true
+	}
+	if col != nil {
+		events := col.Events()
+		sum := trace.Summarize(events)
+		resp.Trace = &TraceSummary{
+			Threads:      sum.Threads,
+			Steps:        sum.Steps,
+			LockAcquires: sum.LockAcquires,
+			LockWaits:    sum.LockWaits,
+			Outputs:      sum.Outputs,
+		}
+		if req.Race {
+			rep := racedetect.Analyze(events)
+			resp.Races = make([]string, 0, len(rep.Races))
+			for _, rc := range rep.Races {
+				resp.Races = append(resp.Races, rc.String())
+			}
+		}
+	}
+	return resp
+}
+
+func (s *Server) compileFailed(resp *RunResponse, err error, start time.Time) *RunResponse {
+	s.met.compileErrors.Add(1)
+	resp.CompileMicros = time.Since(start).Microseconds()
+	resp.Error = &RunError{Stage: "compile", Message: err.Error()}
+	return resp
+}
+
+// tracked wraps a backend run so the drain path can cancel it.
+func (s *Server) tracked(c canceler, run func() error) func() error {
+	return func() error {
+		id := s.nextID.Add(1)
+		s.mu.Lock()
+		s.running[id] = c
+		s.mu.Unlock()
+		defer func() {
+			s.mu.Lock()
+			delete(s.running, id)
+			s.mu.Unlock()
+		}()
+		return run()
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Metrics returns a point-in-time snapshot of the server counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	st := s.cache.Stats()
+	cm := CacheMetrics{Hits: st.Hits, Misses: st.Misses}
+	if total := st.Hits + st.Misses; total > 0 {
+		cm.HitRate = float64(st.Hits) / float64(total)
+	}
+	return MetricsSnapshot{
+		Draining:      s.draining.Load(),
+		InFlight:      s.met.inFlight.Load(),
+		QueueDepth:    s.met.queueDepth.Load(),
+		Requests:      s.met.requests.Load(),
+		OKRuns:        s.met.okRuns.Load(),
+		CompileErrors: s.met.compileErrors.Load(),
+		RuntimeErrors: s.met.runtimeErrors.Load(),
+		Rejected429:   s.met.rejected429.Load(),
+		Rejected503:   s.met.rejected503.Load(),
+		BadRequests:   s.met.badRequests.Load(),
+		Cache:         cm,
+		Latency: map[string]HistogramSnapshot{
+			BackendInterp: s.met.latInterp.snapshot(),
+			BackendVM:     s.met.latVM.snapshot(),
+		},
+	}
+}
+
+// Drain gracefully shuts execution down: new requests are rejected with
+// 503, queued requests are woken and rejected, in-flight executions get
+// DrainGrace to finish naturally, and whatever still runs after the grace
+// is cancelled through the governor trip path — which wakes threads parked
+// on Tetra locks, so no execution can hold the drain hostage. Drain
+// returns once every execution has released its slot (or stop is closed /
+// fires first, in which case the error reports how many were abandoned).
+func (s *Server) Drain(stop <-chan struct{}) error {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+	})
+	grace := time.NewTimer(s.opts.DrainGrace)
+	defer grace.Stop()
+	if s.waitIdle(grace.C, stop) {
+		return nil
+	}
+	s.cancelRunning()
+	if s.waitIdle(nil, stop) {
+		return nil
+	}
+	return fmt.Errorf("drain abandoned with %d execution(s) still in flight", s.met.inFlight.Load())
+}
+
+// waitIdle polls until no execution is in flight; either channel firing
+// aborts the wait. Polling (rather than a WaitGroup) sidesteps the
+// Add-concurrent-with-Wait hazard on the admission path.
+func (s *Server) waitIdle(giveUp <-chan time.Time, stop <-chan struct{}) bool {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.met.inFlight.Load() == 0 {
+			return true
+		}
+		select {
+		case <-tick.C:
+		case <-giveUp:
+			return false
+		case <-stop:
+			return false
+		}
+	}
+}
+
+// cancelRunning trips every live execution's stop path.
+func (s *Server) cancelRunning() {
+	s.mu.Lock()
+	cs := make([]canceler, 0, len(s.running))
+	for _, c := range s.running {
+		cs = append(cs, c)
+	}
+	s.mu.Unlock()
+	for _, c := range cs {
+		c.Cancel()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the client hanging up mid-body is not our error
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: status})
+}

@@ -1,0 +1,90 @@
+package vm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/guard"
+	"repro/internal/stdlib"
+)
+
+// deadlockSrc parks two threads on locks taken in opposite orders: a
+// genuine Tetra-level deadlock that no amount of waiting resolves.
+const deadlockSrc = `def left():
+    lock a:
+        sleep(30)
+        lock b:
+            print("left")
+
+def right():
+    lock b:
+        sleep(30)
+        lock a:
+            print("right")
+
+def main():
+    parallel:
+        left()
+        right()
+`
+
+// TestLockParkWokenByDeadline: the governor deadline must terminate a
+// program whose threads are parked on locks (the VM has no live deadlock
+// detection; the deadline is its backstop).
+func TestLockParkWokenByDeadline(t *testing.T) {
+	_, bc := compileBoth(t, deadlockSrc)
+	var out bytes.Buffer
+	g := guard.New(guard.Limits{Deadline: 200 * time.Millisecond})
+	m := New(bc, Options{Env: stdlib.NewEnv(strings.NewReader(""), &out), Guard: g})
+
+	done := make(chan error, 1)
+	go func() { done <- m.Run() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("deadlocked program finished without error")
+		}
+		if !strings.Contains(err.Error(), "deadline") {
+			t.Errorf("error = %v, want deadline trip", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadline did not wake lock-parked threads")
+	}
+}
+
+// TestLockParkWokenByCancel: Cancel must terminate lock-parked threads
+// even without a governor attached (the drain path relies on this).
+func TestLockParkWokenByCancel(t *testing.T) {
+	_, bc := compileBoth(t, deadlockSrc)
+	var out bytes.Buffer
+	m := New(bc, Options{Env: stdlib.NewEnv(strings.NewReader(""), &out)})
+
+	done := make(chan error, 1)
+	go func() { done <- m.Run() }()
+	time.Sleep(150 * time.Millisecond) // let both threads park
+	m.Cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled program finished without error")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Cancel did not wake lock-parked threads")
+	}
+}
+
+// TestSelfWaitIsAnError: re-acquiring a lock the thread already holds is
+// reported, matching the interpreter's diagnostic instead of hanging.
+func TestSelfWaitIsAnError(t *testing.T) {
+	src := `def main():
+    lock a:
+        lock a:
+            print("unreachable")
+`
+	_, err := runVM(t, src, "")
+	if err == nil || !strings.Contains(err.Error(), "would wait for itself") {
+		t.Errorf("err = %v, want self-wait deadlock error", err)
+	}
+}

@@ -5,7 +5,7 @@
 // parallel-for iterations get a private induction cell, background chunks
 // are not joined before the spawning statement continues (though Run joins
 // them before returning, like the interpreter), and lock instructions hit a
-// named-mutex table.
+// named lock table whose waiters park interruptibly (see lockTable).
 //
 // The VM intentionally omits the step hook, tracer, and deadlock/race
 // tooling: those belong to the development path (the interpreter, which the
@@ -57,7 +57,7 @@ type VM struct {
 	prog *bytecode.Program
 	opts Options
 
-	locks      []sync.Mutex
+	locks      *lockTable
 	guard      *guard.Governor
 	nextThread atomic.Int64
 	background sync.WaitGroup
@@ -69,7 +69,13 @@ type VM struct {
 
 // New returns a VM for the compiled program.
 func New(prog *bytecode.Program, opts Options) *VM {
-	return &VM{prog: prog, opts: opts, guard: opts.Guard, locks: make([]sync.Mutex, len(prog.LockNames))}
+	m := &VM{prog: prog, opts: opts, guard: opts.Guard, locks: newLockTable(prog.LockNames)}
+	if m.guard != nil {
+		// A trip must wake threads parked on a lock so they observe the
+		// trip and unwind, mirroring the interpreter's registry contract.
+		m.guard.OnTrip(m.locks.wake)
+	}
+	return m
 }
 
 // Run executes the program's main function.
@@ -144,6 +150,7 @@ func (m *VM) Cancel() {
 	if m.guard != nil {
 		m.guard.Cancel()
 	}
+	m.locks.wake()
 }
 
 func (m *VM) setErr(err error) {
@@ -168,15 +175,16 @@ var errStopped = fmt.Errorf("stopped")
 
 type thread struct {
 	vm      *VM
+	id      int
 	depth   int
 	tally   *guard.Tally // per-thread work counter for trip diagnostics
 	pending int32        // steps accumulated since the last governor sync
 }
 
 func (m *VM) newThread() *thread {
-	t := &thread{vm: m}
+	t := &thread{vm: m, id: int(m.nextThread.Add(1)) - 1}
 	if m.guard != nil {
-		t.tally = m.guard.NewTally(int(m.nextThread.Add(1)) - 1)
+		t.tally = m.guard.NewTally(t.id)
 	}
 	return t
 }
@@ -223,6 +231,66 @@ func (f *frame) store(slot int32, v value.Value) {
 
 func rtErr(pos token.Pos, format string, args ...any) error {
 	return &value.RuntimeError{Msg: fmt.Sprintf(format, args...), Pos: pos.String()}
+}
+
+// lockTable implements Tetra's named locks with interruptible parking:
+// each time a waiter is woken it re-checks the VM's stop flag and the
+// governor's trip state, so Cancel and limit trips terminate programs
+// blocked on a lock instead of leaving them wedged on a bare mutex. This
+// is the interpreter lockRegistry's contract minus live deadlock
+// detection, which the VM intentionally omits (a deadlocked program ends
+// at the governor's deadline rather than with an immediate diagnostic).
+type lockTable struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	owner []int // owning thread id per lock, -1 when free
+	names []string
+}
+
+func newLockTable(names []string) *lockTable {
+	lt := &lockTable{owner: make([]int, len(names)), names: names}
+	for i := range lt.owner {
+		lt.owner[i] = -1
+	}
+	lt.cond = sync.NewCond(&lt.mu)
+	return lt
+}
+
+func (lt *lockTable) acquire(t *thread, idx int, pos token.Pos) error {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	for lt.owner[idx] != -1 {
+		if lt.owner[idx] == t.id {
+			return rtErr(pos, "deadlock: thread %d already holds lock %q and would wait for itself", t.id, lt.names[idx])
+		}
+		if t.vm.stopped.Load() {
+			return errStopped
+		}
+		if g := t.vm.guard; g != nil {
+			if k := g.Tripped(); k != guard.OK {
+				return g.ErrAt(k, pos.String())
+			}
+		}
+		lt.cond.Wait()
+	}
+	lt.owner[idx] = t.id
+	return nil
+}
+
+func (lt *lockTable) release(idx int) {
+	lt.mu.Lock()
+	lt.owner[idx] = -1
+	// Broadcast under mu: a waiter between its state check and parking
+	// still holds mu, so it cannot miss a wakeup sent here.
+	lt.cond.Broadcast()
+	lt.mu.Unlock()
+}
+
+// wake rouses every parked waiter so it re-checks the stop/trip state.
+func (lt *lockTable) wake() {
+	lt.mu.Lock()
+	lt.cond.Broadcast()
+	lt.mu.Unlock()
 }
 
 // checkSpawn charges one live thread against the governor's budget before
@@ -588,9 +656,11 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 			}
 
 		case bytecode.OpLockAcquire:
-			t.vm.locks[ins.A].Lock()
+			if err := t.vm.locks.acquire(t, int(ins.A), ch.Pos[pc]); err != nil {
+				return false, value.Value{}, err
+			}
 		case bytecode.OpLockRelease:
-			t.vm.locks[ins.A].Unlock()
+			t.vm.locks.release(int(ins.A))
 
 		default:
 			return false, value.Value{}, rtErr(ch.Pos[pc], "internal: unknown opcode %s", ins.Op)

@@ -1,0 +1,81 @@
+package tetra
+
+import (
+	"context"
+	"net"
+	"net/http"
+
+	"repro/internal/server"
+)
+
+// ServerOptions configures the tetrad execution service: the server-wide
+// limit ceiling, the admission controller (in-flight cap, queue bound,
+// queue timeout), the drain grace and the compile-cache size. The zero
+// value serves sandbox-limited executions with production defaults.
+type ServerOptions = server.Options
+
+// Server is the execution service behind cmd/tetrad: POST /run compiles
+// (through a shared CompileCache) and executes untrusted programs under
+// clamped guard budgets; GET /metrics and GET /healthz expose operational
+// state. It implements http.Handler; use Drain for graceful shutdown.
+type Server = server.Server
+
+// ServerMetrics is the snapshot served by GET /metrics.
+type ServerMetrics = server.MetricsSnapshot
+
+// NewServer returns an execution service enforcing opts. Mount it on any
+// mux, or use Handler/Serve for the common cases.
+func NewServer(opts ServerOptions) *Server { return server.New(opts) }
+
+// Handler returns the execution service as a plain http.Handler, for
+// embedding tetrad's endpoints in an existing server.
+func Handler(opts ServerOptions) http.Handler { return server.New(opts) }
+
+// Serve runs the execution service on addr until ctx is cancelled, then
+// shuts down gracefully: admissions stop, in-flight executions get the
+// drain grace to finish, stragglers are cancelled through the governor
+// trip path (waking even lock-parked programs), and the HTTP listener
+// closes. It returns nil on a clean drain.
+func Serve(ctx context.Context, addr string, opts ServerOptions) error {
+	srv := server.New(opts)
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		return err // listener died before ctx was cancelled
+	case <-ctx.Done():
+	}
+	drainErr := srv.Drain(nil)
+	shutdownErr := httpSrv.Shutdown(context.Background())
+	<-errCh // always http.ErrServerClosed after Shutdown
+	if drainErr != nil {
+		return drainErr
+	}
+	return shutdownErr
+}
+
+// ServeListener is Serve on an already-bound listener, letting callers
+// bind ":0" and discover the port. The listener is closed on return.
+func ServeListener(ctx context.Context, ln net.Listener, opts ServerOptions) error {
+	srv := server.New(opts)
+	httpSrv := &http.Server{Handler: srv}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	drainErr := srv.Drain(nil)
+	shutdownErr := httpSrv.Shutdown(context.Background())
+	<-errCh
+	if drainErr != nil {
+		return drainErr
+	}
+	return shutdownErr
+}
