@@ -22,6 +22,10 @@
 //	serve     SV1: tetrad execution-service throughput and latency at
 //	          admission caps of 1/4/8 in-flight executions, warm cache,
 //	          both backends; writes BENCH_serve.json
+//	isolate   ISO1: crash-isolation cost — the same workload on the
+//	          in-process tier vs supervised worker processes, plus the
+//	          worker tier under injected crashes (SIGKILL mid-run);
+//	          writes BENCH_isolate.json
 //	all       everything except limits and scaling (default)
 //
 // Each speedup experiment prints the wall-clock table (meaningful on a
@@ -40,14 +44,18 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/worker"
 )
 
 func main() {
+	// The isolate experiment's worker pool re-execs this binary as its
+	// workers; divert into the worker loop before anything else runs.
+	worker.ExitIfWorker()
 	os.Exit(run())
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, limits, scaling, opt, sem, serve, or all")
+	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, limits, scaling, opt, sem, serve, isolate, or all")
 	limit := flag.Int("limit", 200000, "E1: count primes below this limit")
 	fullScale := flag.Bool("paper-scale", false, "E1: use the paper's full workload (first million primes ⇒ limit 15485864); slow on the interpreter")
 	n := flag.Int("n", 10, "E2: number of TSP cities")
@@ -97,6 +105,12 @@ func run() int {
 			outPath = "BENCH_serve.json"
 		}
 		return serve(*quick, *reps, outPath)
+	case "isolate":
+		outPath := *out
+		if outPath == "BENCH_scaling.json" {
+			outPath = "BENCH_isolate.json"
+		}
+		return isolate(*quick, *reps, outPath)
 	case "all":
 		if rc := primes(*limit, workers, *reps); rc != 0 {
 			return rc
@@ -276,6 +290,23 @@ func serve(quick bool, reps int, outPath string) int {
 	}
 	fmt.Print(bench.FormatServeTable(rep))
 	if err := bench.WriteServeJSON(outPath, rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("\nwrote %s\n", outPath)
+	return 0
+}
+
+func isolate(quick bool, reps int, outPath string) int {
+	fmt.Println("ISO1: crash-isolation cost — in-process vs supervised workers, plus the worker")
+	fmt.Println("      tier under injected crashes (a fraction of attempts SIGKILLed mid-run)")
+	rep, err := bench.IsolateExperiment(quick, reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Print(bench.FormatIsolateTable(rep))
+	if err := bench.WriteIsolateJSON(outPath, rep); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/server"
+	"repro/internal/worker"
+)
+
+// The isolate experiment (ISO1): what does crash isolation cost, and what
+// does it buy? The same warm-cache workload is measured on the in-process
+// tier and on the supervised worker-pool tier, then the pool tier is
+// re-measured under fault injection (a fraction of worker attempts
+// SIGKILLed mid-run) to show the service absorbing crashes that would
+// have taken down the in-process server. Reported as BENCH_isolate.json.
+//
+// The benchmark binary serves as its own worker: the pool re-execs it
+// with TETRAD_WORKER=1 and worker.ExitIfWorker diverts the child into
+// the worker loop before main's flag parsing runs.
+
+// IsolateRow is one (tier, backend) measurement.
+type IsolateRow struct {
+	Tier         string  `json:"tier"`    // "inproc", "worker", "worker+chaos"
+	Backend      string  `json:"backend"` // interp or vm
+	Requests     int     `json:"requests"`
+	Throughput   float64 `json:"throughput"` // requests per second
+	P50LatencyNS int64   `json:"p50_latency_ns"`
+	P95LatencyNS int64   `json:"p95_latency_ns"`
+	// OverheadMeanNS is the mean supervised-round-trip overhead (wall
+	// minus worker-reported work) from the server's isolation histogram;
+	// zero on the inproc tier.
+	OverheadMeanNS int64 `json:"overhead_mean_ns,omitempty"`
+	// Crashes/Retries report the supervision work on the chaos row.
+	Crashes int64 `json:"crashes,omitempty"`
+	Retries int64 `json:"retries,omitempty"`
+}
+
+// IsolateReport is the BENCH_isolate.json document.
+type IsolateReport struct {
+	Experiment string       `json:"experiment"`
+	HostCores  int          `json:"host_cores"`
+	Quick      bool         `json:"quick"`
+	Workload   string       `json:"workload"`
+	PoolSize   int          `json:"pool_size"`
+	ChaosSpec  string       `json:"chaos_spec"`
+	Rows       []IsolateRow `json:"rows"`
+}
+
+// IsolateExperiment measures the worker-isolation boundary cost and the
+// supervised tier's behavior under injected worker crashes.
+func IsolateExperiment(quick bool, reps int) (*IsolateReport, error) {
+	perPoint := 400
+	if quick {
+		perPoint = 120
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	iters := 2000
+	if quick {
+		iters = 500
+	}
+	src := ArithLoopSource(iters)
+	const inflight = 4
+	const chaosSpec = "worker-exit=0.1"
+
+	rep := &IsolateReport{
+		Experiment: "isolate: in-process vs supervised worker execution, and worker tier under injected crashes",
+		HostCores:  runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		Workload:   fmt.Sprintf("arith_loop(%d)", iters),
+		PoolSize:   inflight,
+		ChaosSpec:  chaosSpec,
+	}
+
+	tiers := []struct {
+		name string
+		opts server.Options
+	}{
+		{"inproc", server.Options{
+			Isolation:    server.IsolationOff,
+			MaxInFlight:  inflight,
+			MaxQueue:     4 * inflight,
+			QueueTimeout: 30 * time.Second,
+		}},
+		{"worker", server.Options{
+			Isolation:    server.IsolationPool,
+			MaxInFlight:  inflight,
+			MaxQueue:     4 * inflight,
+			QueueTimeout: 30 * time.Second,
+		}},
+		{"worker+chaos", server.Options{
+			Isolation:    server.IsolationPool,
+			MaxInFlight:  inflight,
+			MaxQueue:     4 * inflight,
+			QueueTimeout: 30 * time.Second,
+			WorkerEnv:    []string{fault.EnvVar + "=" + chaosSpec},
+			// The chaos row must never 422 a healthy program just
+			// because the dice crashed its workers.
+			Quarantine: worker.QuarantinePolicy{Threshold: -1},
+			Retry:      worker.RetryPolicy{MaxAttempts: 6},
+		}},
+	}
+
+	for _, tier := range tiers {
+		for _, backend := range []string{server.BackendInterp, server.BackendVM} {
+			row, err := isolateOnePoint(tier.name, backend, tier.opts, src, inflight, perPoint, reps)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", tier.name, backend, err)
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+func isolateOnePoint(tier, backend string, opts server.Options, src string, conc, total, reps int) (IsolateRow, error) {
+	srv := server.New(opts)
+	ts := httptest.NewServer(srv)
+	defer func() {
+		srv.Drain(nil)
+		ts.Close()
+	}()
+	body, err := json.Marshal(server.RunRequest{Source: src, File: "bench.ttr", Backend: backend})
+	if err != nil {
+		return IsolateRow{}, err
+	}
+	if opts.Isolation == server.IsolationPool {
+		// Give the pre-forked pool a moment to come up so the first
+		// requests do not measure the in-process fallback.
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if st := srv.Pool().Stats(); st.Idle > 0 {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	// Warm the caches (every worker compiles once; run a few extra).
+	for i := 0; i < conc+2; i++ {
+		if _, err := postOnce(ts.URL, body); err != nil {
+			return IsolateRow{}, err
+		}
+	}
+
+	best := IsolateRow{Tier: tier, Backend: backend}
+	for r := 0; r < reps; r++ {
+		sr, err := serveBatch(ts.URL, body, conc, total)
+		if err != nil {
+			return IsolateRow{}, err
+		}
+		if best.Requests == 0 || sr.Throughput > best.Throughput {
+			best.Requests = sr.Requests
+			best.Throughput = sr.Throughput
+			best.P50LatencyNS = sr.P50LatencyNS
+			best.P95LatencyNS = sr.P95LatencyNS
+		}
+	}
+
+	m := srv.Metrics()
+	if h, ok := m.Latency["isolation_overhead"]; ok && h.Count > 0 {
+		best.OverheadMeanNS = int64(h.MeanMS * float64(time.Millisecond))
+	}
+	if m.Worker != nil {
+		best.Crashes = m.Worker.Crashes
+		best.Retries = m.Worker.Retries
+	}
+	return best, nil
+}
+
+// WriteIsolateJSON writes the report for committing as BENCH_isolate.json.
+func WriteIsolateJSON(path string, rep *IsolateReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatIsolateTable renders the report for the terminal.
+func FormatIsolateTable(rep *IsolateReport) string {
+	var b []byte
+	buf := func(format string, args ...any) { b = append(b, fmt.Sprintf(format, args...)...) }
+	buf("  workload %s, pool size %d, chaos %s, %d host cores\n",
+		rep.Workload, rep.PoolSize, rep.ChaosSpec, rep.HostCores)
+	buf("  %-13s %-8s %10s %12s %12s %12s %8s %8s\n",
+		"tier", "backend", "req/s", "p50", "p95", "overhead", "crashes", "retries")
+	for _, r := range rep.Rows {
+		over := "-"
+		if r.OverheadMeanNS > 0 {
+			over = time.Duration(r.OverheadMeanNS).Round(10 * time.Microsecond).String()
+		}
+		buf("  %-13s %-8s %10.1f %12s %12s %12s %8d %8d\n",
+			r.Tier, r.Backend, r.Throughput,
+			time.Duration(r.P50LatencyNS).Round(10*time.Microsecond),
+			time.Duration(r.P95LatencyNS).Round(10*time.Microsecond),
+			over, r.Crashes, r.Retries)
+	}
+	return string(b)
+}

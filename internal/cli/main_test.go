@@ -1,0 +1,18 @@
+package cli
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/worker"
+)
+
+// TestMain lets this test binary serve as its own execution worker: the
+// serve tests boot tetrad with the default pool isolation, whose
+// supervisor re-execs os.Executable as workers with TETRAD_WORKER=1 set.
+// Without this diversion the children would run the test suite
+// recursively instead of the worker loop.
+func TestMain(m *testing.M) {
+	worker.ExitIfWorker()
+	os.Exit(m.Run())
+}

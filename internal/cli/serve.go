@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"os"
@@ -13,11 +14,17 @@ import (
 
 	"repro/internal/guard"
 	"repro/internal/server"
+	"repro/internal/worker"
 )
 
 // ServeMain runs the tetrad command (cmd/tetrad is a thin wrapper): it
 // boots the sandboxed execution service and serves until SIGINT/SIGTERM,
 // then drains gracefully. It returns the process exit code.
+//
+// With -worker the process instead becomes a pooled execution worker:
+// it speaks the internal/worker pipe protocol on stdin/stdout and never
+// opens a listener. The supervisor in the serving process spawns these
+// by re-exec'ing its own binary.
 func ServeMain(args []string, stdout, stderr io.Writer) int {
 	return serveMain(args, stdout, stderr, nil)
 }
@@ -27,12 +34,20 @@ func ServeMain(args []string, stdout, stderr io.Writer) int {
 func serveMain(args []string, stdout, stderr io.Writer, stop <-chan struct{}) int {
 	fs := flag.NewFlagSet("tetrad", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	workerMode := fs.Bool("worker", false, "run as a pooled execution worker on stdin/stdout (internal; spawned by the supervisor)")
 	addr := fs.String("addr", ":8714", "listen address")
 	maxInFlight := fs.Int("max-inflight", 0, "maximum concurrently-executing programs (0 = 2×GOMAXPROCS)")
 	maxQueue := fs.Int("max-queue", 0, "maximum requests waiting for an execution slot (0 = 4×max-inflight)")
 	queueTimeout := fs.Duration("queue-timeout", time.Second, "how long a queued request waits before a 429")
 	drainGrace := fs.Duration("drain-grace", guard.DefaultGrace, "how long shutdown lets in-flight runs finish before cancelling them")
+	drainAnnounce := fs.Duration("drain-announce", 0, "how long readiness reports 503 before admissions close on shutdown")
 	cacheEntries := fs.Int("cache-entries", 0, "compile cache capacity (0 = default)")
+	isolation := fs.String("isolation", server.IsolationPool, "execution tier: \"pool\" (supervised worker processes) or \"off\" (in-process; degraded)")
+	poolSize := fs.Int("pool-size", 0, "pre-forked execution workers (0 = max-inflight)")
+	retryAttempts := fs.Int("retry-attempts", 0, "max execution attempts per request when workers crash (0 = default 3)")
+	quarThreshold := fs.Int("quarantine-threshold", 0, "worker crashes within the window that quarantine a program (0 = default 3, negative disables)")
+	quarWindow := fs.Duration("quarantine-window", 0, "crash-counting window (0 = default 1m)")
+	quarTTL := fs.Duration("quarantine-ttl", 0, "how long a quarantined program stays rejected (0 = default 5m)")
 	timeout := fs.Duration("timeout", 0, "ceiling: wall-clock limit per run (0 = sandbox default)")
 	maxSteps := fs.Int64("max-steps", 0, "ceiling: statement/instruction budget per run (0 = sandbox default)")
 	maxThreads := fs.Int64("max-threads", 0, "ceiling: concurrently-live threads per run (0 = sandbox default)")
@@ -46,7 +61,18 @@ func serveMain(args []string, stdout, stderr io.Writer, stop <-chan struct{}) in
 		fs.PrintDefaults()
 		return 2
 	}
+	if *workerMode {
+		return worker.ServeStdio()
+	}
+	switch *isolation {
+	case server.IsolationPool, server.IsolationOff:
+	default:
+		fmt.Fprintf(stderr, "tetrad: unknown -isolation %q (want %q or %q)\n",
+			*isolation, server.IsolationPool, server.IsolationOff)
+		return 2
+	}
 
+	logger := log.New(stderr, "tetrad: ", log.LstdFlags)
 	opts := server.Options{
 		Ceiling: guard.Limits{
 			Deadline:       *timeout,
@@ -55,11 +81,21 @@ func serveMain(args []string, stdout, stderr io.Writer, stop <-chan struct{}) in
 			MaxOutputBytes: *maxOutput,
 			MaxAllocCells:  *maxAlloc,
 		},
-		MaxInFlight:  *maxInFlight,
-		MaxQueue:     *maxQueue,
-		QueueTimeout: *queueTimeout,
-		DrainGrace:   *drainGrace,
-		CacheEntries: *cacheEntries,
+		MaxInFlight:   *maxInFlight,
+		MaxQueue:      *maxQueue,
+		QueueTimeout:  *queueTimeout,
+		DrainGrace:    *drainGrace,
+		DrainAnnounce: *drainAnnounce,
+		CacheEntries:  *cacheEntries,
+		Isolation:     *isolation,
+		PoolSize:      *poolSize,
+		Retry:         worker.RetryPolicy{MaxAttempts: *retryAttempts},
+		Quarantine: worker.QuarantinePolicy{
+			Threshold: *quarThreshold,
+			Window:    *quarWindow,
+			TTL:       *quarTTL,
+		},
+		Logf: logger.Printf,
 	}
 	srv := server.New(opts)
 
@@ -70,6 +106,7 @@ func serveMain(args []string, stdout, stderr io.Writer, stop <-chan struct{}) in
 	}
 	ceil := srv.Ceiling()
 	fmt.Fprintf(stdout, "tetrad: listening on %s\n", ln.Addr())
+	fmt.Fprintf(stdout, "tetrad: isolation=%s\n", *isolation)
 	fmt.Fprintf(stdout, "tetrad: ceiling deadline=%s steps=%d threads=%d output=%dB alloc=%d cells\n",
 		ceil.Deadline, ceil.MaxSteps, ceil.MaxThreads, ceil.MaxOutputBytes, ceil.MaxAllocCells)
 

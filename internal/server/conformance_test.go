@@ -111,6 +111,81 @@ func TestServerConformanceGoldenCorpus(t *testing.T) {
 	}
 }
 
+// TestWorkerPathConformanceGoldenCorpus re-runs the golden corpus through
+// the supervised worker tier: every program, on both backends (VM at -O0
+// and -O2), must produce stdout byte-identical to the committed golden
+// even though execution now crosses a process boundary — isolation must
+// be a supervision layer, never a semantic one.
+func TestWorkerPathConformanceGoldenCorpus(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "programs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := poolServer(t, func(o *server.Options) {
+		// Conformance must measure the worker path, not the fallback:
+		// serialize admissions well below the pool size.
+		o.MaxInFlight = 2
+	})
+	waitForWorkers(t, srv)
+
+	ran := 0
+	for _, entry := range entries {
+		name := entry.Name()
+		if !strings.HasSuffix(name, ".ttr") {
+			continue
+		}
+		ran++
+		base := strings.TrimSuffix(name, ".ttr")
+		t.Run(base, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden, err := os.ReadFile(filepath.Join(dir, base+".out"))
+			if err != nil {
+				t.Fatalf("missing golden: %v", err)
+			}
+			input := ""
+			if data, err := os.ReadFile(filepath.Join(dir, base+".in")); err == nil {
+				input = string(data)
+			}
+			o0, o2 := 0, 2
+			variants := []struct {
+				label string
+				req   server.RunRequest
+			}{
+				{"interp", server.RunRequest{Source: string(src), Stdin: input, File: name}},
+				{"vm-O0", server.RunRequest{Source: string(src), Stdin: input, File: name, Backend: server.BackendVM, Opt: &o0}},
+				{"vm-O2", server.RunRequest{Source: string(src), Stdin: input, File: name, Backend: server.BackendVM, Opt: &o2}},
+			}
+			for _, v := range variants {
+				resp, body := postRun(t, ts.URL, v.req, nil)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("%s: status %d: %s", v.label, resp.StatusCode, body)
+				}
+				var rr server.RunResponse
+				if err := json.Unmarshal(body, &rr); err != nil {
+					t.Fatal(err)
+				}
+				if rr.Error != nil {
+					t.Fatalf("%s: server error: %+v", v.label, rr.Error)
+				}
+				if rr.Isolation != server.TierWorker {
+					t.Fatalf("%s: ran on tier %q, want %q", v.label, rr.Isolation, server.TierWorker)
+				}
+				if rr.Stdout != string(golden) {
+					t.Errorf("%s: worker-path stdout differs from golden:\ngot:\n%q\nwant:\n%q",
+						v.label, rr.Stdout, string(golden))
+				}
+			}
+		})
+	}
+	if ran < 10 {
+		t.Errorf("corpus unexpectedly small: %d programs", ran)
+	}
+}
+
 // cliOutput runs the tetra CLI in-process and returns its stdout,
 // failing the test on a non-zero exit.
 func cliOutput(t *testing.T, args []string, input string) string {

@@ -1,8 +1,11 @@
 package server
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/worker"
 )
 
 // bucketBoundsMS are the latency histogram upper bounds, in milliseconds.
@@ -61,21 +64,61 @@ func (h *histogram) snapshot() HistogramSnapshot {
 	return s
 }
 
+// crashRingSize bounds the crash-forensics ring: the last N worker
+// crashes, each tagged with the request ID that triggered it.
+const crashRingSize = 16
+
+// CrashRecord is one worker-crash forensics entry: which request, which
+// program, which worker process, and why it died.
+type CrashRecord struct {
+	UnixMS    int64  `json:"unix_ms"`
+	RequestID string `json:"request_id"`
+	Hash      string `json:"program_hash"`
+	PID       int    `json:"worker_pid"`
+	Attempt   int    `json:"attempt"`
+	Reason    string `json:"reason"`
+}
+
 // metrics is the server's counter set. All fields are atomics; the
 // /metrics endpoint serves a consistent-enough snapshot without a lock.
+// The crash ring is the one mutexed structure (rare writes, tiny).
 type metrics struct {
 	requests      atomic.Int64
 	okRuns        atomic.Int64
 	compileErrors atomic.Int64
 	runtimeErrors atomic.Int64
+	rejected422   atomic.Int64
 	rejected429   atomic.Int64
 	rejected503   atomic.Int64
 	badRequests   atomic.Int64
+	panics        atomic.Int64
+	fallbacks     atomic.Int64
 	inFlight      atomic.Int64
 	queueDepth    atomic.Int64
 
-	latInterp histogram
-	latVM     histogram
+	latInterp   histogram
+	latVM       histogram
+	latOverhead histogram // supervised round-trip minus worker-reported work
+
+	crashMu sync.Mutex
+	crashes []CrashRecord // ring, newest last, at most crashRingSize
+}
+
+func (m *metrics) recordCrash(rec CrashRecord) {
+	m.crashMu.Lock()
+	defer m.crashMu.Unlock()
+	m.crashes = append(m.crashes, rec)
+	if len(m.crashes) > crashRingSize {
+		m.crashes = m.crashes[len(m.crashes)-crashRingSize:]
+	}
+}
+
+func (m *metrics) crashRecords() []CrashRecord {
+	m.crashMu.Lock()
+	defer m.crashMu.Unlock()
+	out := make([]CrashRecord, len(m.crashes))
+	copy(out, m.crashes)
+	return out
 }
 
 func (m *metrics) latency(backend string) *histogram {
@@ -95,15 +138,25 @@ type CacheMetrics struct {
 // MetricsSnapshot is the JSON body of GET /metrics.
 type MetricsSnapshot struct {
 	Draining      bool                         `json:"draining"`
+	Ready         bool                         `json:"ready"`
+	Isolation     string                       `json:"isolation"`
 	InFlight      int64                        `json:"in_flight"`
 	QueueDepth    int64                        `json:"queue_depth"`
 	Requests      int64                        `json:"requests"`
 	OKRuns        int64                        `json:"ok_runs"`
 	CompileErrors int64                        `json:"compile_errors"`
 	RuntimeErrors int64                        `json:"runtime_errors"`
+	Rejected422   int64                        `json:"rejected_422"`
 	Rejected429   int64                        `json:"rejected_429"`
 	Rejected503   int64                        `json:"rejected_503"`
 	BadRequests   int64                        `json:"bad_requests"`
+	Panics        int64                        `json:"panics"`
+	Fallbacks     int64                        `json:"fallbacks"`
 	Cache         CacheMetrics                 `json:"cache"`
 	Latency       map[string]HistogramSnapshot `json:"latency"`
+	// Worker reports the supervisor counters (nil with isolation off).
+	Worker *worker.Stats `json:"worker,omitempty"`
+	// WorkerCrashes is the forensics ring: the most recent worker
+	// crashes with their request IDs.
+	WorkerCrashes []CrashRecord `json:"worker_crashes,omitempty"`
 }

@@ -73,6 +73,14 @@ type RunResponse struct {
 	// CompileMicros and RunMicros are the stage timings.
 	CompileMicros int64 `json:"compile_us"`
 	RunMicros     int64 `json:"run_us"`
+	// Isolation reports which tier executed the program: "worker" (a
+	// supervised worker process) or "inproc" (the server process).
+	Isolation string `json:"isolation,omitempty"`
+	// Attempts counts execution attempts: 1 normally, more when worker
+	// crashes forced retries.
+	Attempts int `json:"attempts,omitempty"`
+	// RequestID echoes the correlation ID (client-provided or generated).
+	RequestID string `json:"request_id,omitempty"`
 	// Trace summarizes the execution events when the request asked for
 	// tracing.
 	Trace *TraceSummary `json:"trace,omitempty"`

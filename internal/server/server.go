@@ -4,13 +4,18 @@
 //
 // POST /run accepts one program (source, stdin, backend choice, -O level,
 // per-request limit overrides) and answers with the program's output and
-// diagnostics. Three in-tree mechanisms make it safe to point at the open
+// diagnostics. Four in-tree mechanisms make it safe to point at the open
 // internet:
 //
 //   - every execution runs under a guard.Governor whose budgets are the
 //     request's limits clamped by a server-wide sandbox ceiling — a client
 //     can tighten its own budget but never raise it;
-//   - compilation goes through one shared core.CompileCache, so the
+//   - with isolation enabled, execution happens inside supervised worker
+//     processes (internal/worker): a backend panic, runaway allocation or
+//     stuck lock kills a disposable child, the supervisor restarts it with
+//     backoff, retries the request on a fresh worker, and quarantines
+//     programs that repeatedly kill workers (422 instead of burned pool);
+//   - compilation goes through per-process compile caches, so the
 //     steady-state cost of a popular exercise is a map lookup (~250×
 //     cheaper than a cold compile, BENCH_opt.json);
 //   - an admission controller bounds in-flight executions and queue wait,
@@ -18,38 +23,61 @@
 //     unbounded goroutine and memory growth.
 //
 // GET /metrics exposes cache hit rate, in-flight count, queue depth,
-// per-backend latency histograms and rejection counters; GET /healthz is
-// the load-balancer probe and flips to 503 when the server is draining.
+// per-backend latency histograms, worker supervision counters and crash
+// forensics; GET /healthz/live answers as long as the process runs, GET
+// /healthz/ready (and the legacy /healthz) flips to 503 the moment a
+// drain begins — before any in-flight run is cancelled — so routers stop
+// sending traffic first.
 //
-// Shutdown is graceful: Drain stops admissions, waits for in-flight runs,
-// and after the grace period cancels stragglers through the governor trip
+// Shutdown is graceful: Drain flips readiness, optionally waits a
+// drain-announce window, stops admissions, waits for in-flight runs, and
+// after the grace period cancels stragglers through the governor trip
 // path — which wakes threads parked on Tetra locks, so even a program
 // blocked inside `lock:` exits promptly (the liveness concern of "Fencing
-// off Go", Lange et al.).
+// off Go", Lange et al.). Worker processes are killed and reaped on the
+// way out: zero orphans.
 package server
 
 import (
-	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net/http"
+	"os"
 	"runtime"
-	"strings"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/guard"
-	"repro/internal/racedetect"
-	"repro/internal/trace"
-	"repro/internal/value"
+	"repro/internal/worker"
+)
+
+// Isolation modes for Options.Isolation.
+const (
+	// IsolationOff executes programs in the server's own process — the
+	// explicit degraded mode, and the automatic fallback when the
+	// worker pool is exhausted.
+	IsolationOff = "off"
+	// IsolationPool executes programs in supervised worker processes.
+	IsolationPool = "pool"
+)
+
+// Execution tiers echoed in RunResponse.Isolation.
+const (
+	TierWorker = "worker" // ran inside a pooled worker process
+	TierInProc = "inproc" // ran in the server process
 )
 
 // Options configures a Server; the zero value serves sandbox-limited
-// executions with sensible production defaults.
+// in-process executions with sensible production defaults.
 type Options struct {
 	// Ceiling is the server-wide resource ceiling every execution is
 	// clamped by. The zero value applies the sandbox defaults
@@ -71,11 +99,39 @@ type Options struct {
 	// DrainGrace is how long Drain lets in-flight executions finish before
 	// cancelling them via the governor. Default guard.DefaultGrace.
 	DrainGrace time.Duration
-	// CacheEntries sizes the shared compile cache (<= 0 selects the
-	// core default).
+	// DrainAnnounce is how long Drain keeps serving after flipping
+	// readiness to 503, giving routers time to stop sending traffic
+	// before admissions close. Default 0 (close immediately).
+	DrainAnnounce time.Duration
+	// CacheEntries sizes the in-process compile cache (<= 0 selects the
+	// core default). Worker processes size their own caches.
 	CacheEntries int
 	// MaxBodyBytes bounds the request body. Default 4 MiB.
 	MaxBodyBytes int64
+
+	// Isolation selects the execution tier: IsolationOff (default — the
+	// embedded-library mode) or IsolationPool (supervised worker
+	// processes; what cmd/tetrad runs with).
+	Isolation string
+	// PoolSize is the number of pre-forked workers (default MaxInFlight).
+	PoolSize int
+	// WorkerCmd is the argv spawning one worker. Default: this
+	// executable re-exec'd with -worker.
+	WorkerCmd []string
+	// WorkerEnv is extra environment for workers (the chaos suites pass
+	// TETRA_FAULTS here).
+	WorkerEnv []string
+	// Retry bounds execution attempts per request when workers crash.
+	Retry worker.RetryPolicy
+	// Quarantine is the circuit breaker for worker-killing programs.
+	Quarantine worker.QuarantinePolicy
+
+	// Faults arms the server-side injection points (fault.HandlerPanic)
+	// for the chaos suites. Nil means no injection.
+	Faults *fault.Injector
+	// Logf, when set, receives operational events: worker crashes with
+	// request-ID forensics, spawn failures, handler panics.
+	Logf func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
@@ -97,64 +153,128 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 4 << 20
 	}
+	if o.Isolation == "" {
+		o.Isolation = IsolationOff
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = o.MaxInFlight
+	}
+	if o.Isolation == IsolationPool && len(o.WorkerCmd) == 0 {
+		if exe, err := os.Executable(); err == nil {
+			o.WorkerCmd = []string{exe, "-worker"}
+		} else {
+			o.Isolation = IsolationOff // cannot self-exec; degrade
+		}
+	}
 	return o
 }
-
-// canceler is the slice of the backend API the drain path needs: both
-// interp.Interp and vm.VM satisfy it.
-type canceler interface{ Cancel() }
 
 // Server is the tetrad HTTP handler. Create with New; it is immediately
 // ready to serve and safe for concurrent use.
 type Server struct {
 	opts  Options
 	cache *core.CompileCache
+	pool  *worker.Pool // nil when isolation is off
 	sem   chan struct{}
 
-	draining  atomic.Bool
+	notReady  atomic.Bool // readiness flipped (drain announced)
+	draining  atomic.Bool // admissions closed
 	drainCh   chan struct{}
 	drainOnce sync.Once
 
 	mu      sync.Mutex
-	running map[uint64]canceler
+	running map[uint64]worker.Canceler
 	nextID  atomic.Uint64
 
 	met metrics
 }
 
-// New returns a Server enforcing opts.
+// New returns a Server enforcing opts. With IsolationPool the worker
+// pool spawns asynchronously: a pool that cannot start (missing
+// executable, fork limits) simply never has idle workers, and every
+// request degrades to in-process execution instead of failing.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
-	return &Server{
+	s := &Server{
 		opts:    opts,
 		cache:   core.NewCompileCache(opts.CacheEntries),
 		sem:     make(chan struct{}, opts.MaxInFlight),
 		drainCh: make(chan struct{}),
-		running: make(map[uint64]canceler),
+		running: make(map[uint64]worker.Canceler),
 	}
+	if opts.Isolation == IsolationPool {
+		s.pool = worker.NewPool(worker.Options{
+			Cmd:        opts.WorkerCmd,
+			Env:        opts.WorkerEnv,
+			Size:       opts.PoolSize,
+			Retry:      opts.Retry,
+			Quarantine: opts.Quarantine,
+			Logf:       opts.Logf,
+		})
+	}
+	return s
 }
 
 // Ceiling returns the effective server-wide limit ceiling.
 func (s *Server) Ceiling() guard.Limits { return s.opts.Ceiling }
 
-// Cache exposes the shared compile cache (for tests and benchmarks).
+// Cache exposes the in-process compile cache (for tests and benchmarks).
 func (s *Server) Cache() *core.CompileCache { return s.cache }
 
-// ServeHTTP routes the three endpoints.
+// Pool exposes the worker supervisor, or nil when isolation is off
+// (for tests and benchmarks).
+func (s *Server) Pool() *worker.Pool { return s.pool }
+
+// statusWriter records whether a response has been started, so the
+// panic-recovery middleware knows whether a 500 can still be written.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.wrote = true
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(b)
+}
+
+// ServeHTTP routes the endpoints behind the panic-recovery middleware:
+// a panic anywhere in request handling answers with a well-formed 500
+// JSON body (when the response has not started) instead of tearing down
+// the connection, and increments the panics counter.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sw := &statusWriter{ResponseWriter: w}
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.met.panics.Add(1)
+			s.logf("panic handling %s %s: %v", r.Method, r.URL.Path, rec)
+			if !sw.wrote {
+				writeError(sw, http.StatusInternalServerError,
+					fmt.Sprintf("internal error: %v", rec))
+			}
+		}
+	}()
 	switch r.URL.Path {
 	case "/run":
-		s.handleRun(w, r)
+		s.handleRun(sw, r)
 	case "/metrics":
-		s.handleMetrics(w, r)
-	case "/healthz":
-		s.handleHealthz(w, r)
+		s.handleMetrics(sw, r)
+	case "/healthz", "/healthz/ready":
+		s.handleReady(sw, r)
+	case "/healthz/live":
+		s.handleLive(sw, r)
 	default:
-		writeError(w, http.StatusNotFound, fmt.Sprintf("no such endpoint %q", r.URL.Path))
+		writeError(sw, http.StatusNotFound, fmt.Sprintf("no such endpoint %q", r.URL.Path))
 	}
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	reqID := requestIDFrom(r)
+	w.Header().Set("X-Request-ID", reqID)
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST /run with a JSON body")
 		return
@@ -184,11 +304,29 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Chaos hook: prove the panic middleware answers 500 instead of
+	// dropping the connection.
+	if _, ok := s.opts.Faults.Fire(fault.HandlerPanic); ok {
+		panic("fault injected: handler panic")
+	}
+
+	// The quarantine circuit breaker rejects known worker-killers
+	// before they cost an admission slot or another worker.
+	hash := worker.HashProgram(req.File, req.Source, req.Backend, req.optLevel())
+	if s.pool != nil {
+		if d, ok := s.pool.Quarantined(hash); ok {
+			s.reject422(w, req, d)
+			return
+		}
+	}
+
 	release, status, msg := s.admit(r)
 	if status != 0 {
 		if status == http.StatusTooManyRequests {
 			s.met.rejected429.Add(1)
-			w.Header().Set("Retry-After", "1")
+			// Jittered Retry-After: a herd rejected in the same burst
+			// must not come back in the same burst.
+			w.Header().Set("Retry-After", strconv.Itoa(1+mrand.Intn(3)))
 		} else {
 			s.met.rejected503.Add(1)
 		}
@@ -197,7 +335,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	writeJSON(w, http.StatusOK, s.execute(req))
+	resp, errStatus, errMsg, retryIn := s.execute(req, hash, reqID)
+	if errStatus != 0 {
+		if errStatus == http.StatusUnprocessableEntity {
+			s.reject422(w, req, retryIn)
+			return
+		}
+		s.met.rejected503.Add(1)
+		writeError(w, errStatus, errMsg)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// reject422 answers a quarantined program: a positioned, well-formed
+// 422 naming the file, with a Retry-After for when the quarantine lifts.
+func (s *Server) reject422(w http.ResponseWriter, req *RunRequest, remaining time.Duration) {
+	s.met.rejected422.Add(1)
+	secs := int(remaining/time.Second) + 1
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusUnprocessableEntity,
+		fmt.Sprintf("%s: program quarantined: it repeatedly crashed execution workers; retry in %s",
+			req.File, remaining.Round(time.Second)))
 }
 
 // admit implements the admission controller: a bounded queue in front of a
@@ -236,117 +395,204 @@ func (s *Server) admit(r *http.Request) (release func(), status int, msg string)
 	}, 0, ""
 }
 
-// execute compiles and runs one admitted request, always returning a
-// well-formed response (compile and runtime failures are data, not HTTP
-// errors).
-func (s *Server) execute(req *RunRequest) *RunResponse {
-	resp := &RunResponse{Backend: req.Backend, Opt: req.optLevel()}
+// execute runs one admitted request on the appropriate tier. On success
+// (including programs that fail to compile or die at runtime — those are
+// data) it returns a response; otherwise a non-zero HTTP status.
+func (s *Server) execute(req *RunRequest, hash, reqID string) (resp *RunResponse, errStatus int, errMsg string, retryIn time.Duration) {
 	eff := ClampLimits(req.Limits, s.opts.Ceiling)
-
-	var out bytes.Buffer
-	cfg := core.Config{
-		Stdin:  strings.NewReader(req.Stdin),
-		Stdout: &out,
-		Limits: eff,
-	}
-	var col *trace.Collector
-	if req.Trace || req.Race {
-		col = trace.NewCollector()
-		cfg.Tracer = col
-		cfg.TraceVars = req.Race
+	wreq := &worker.Request{
+		RequestID: reqID,
+		Source:    req.Source,
+		File:      req.File,
+		Stdin:     req.Stdin,
+		Backend:   req.Backend,
+		Opt:       req.optLevel(),
+		Trace:     req.Trace,
+		Race:      req.Race,
+		Limits:    eff,
 	}
 
-	compileStart := time.Now()
-	var run func() error
-	switch req.Backend {
-	case BackendVM:
-		resp.CacheHit = s.cache.PeekBytecode(req.File, req.Source, resp.Opt)
-		bc, err := s.cache.CompileBytecode(req.File, req.Source, resp.Opt)
-		if err != nil {
-			return s.compileFailed(resp, err, compileStart)
+	if s.pool != nil {
+		resp, errStatus, errMsg, retryIn, fellThrough := s.runOnPool(wreq, req, hash, reqID)
+		if !fellThrough {
+			return resp, errStatus, errMsg, retryIn
 		}
-		m := core.NewVM(bc, cfg)
-		run = s.tracked(m, m.Run)
-	default:
-		resp.CacheHit = s.cache.PeekAST(req.File, req.Source)
-		prog, err := s.cache.Compile(req.File, req.Source)
-		if err != nil {
-			return s.compileFailed(resp, err, compileStart)
-		}
-		in := core.NewInterp(prog, cfg)
-		run = s.tracked(in, in.Run)
+		// Pool exhausted (or closed): degrade to in-process execution
+		// rather than queue forever.
+		s.met.fallbacks.Add(1)
+		s.logf("worker pool exhausted; running req %s in-process (degraded)", reqID)
 	}
-	resp.CompileMicros = time.Since(compileStart).Microseconds()
+	return s.runInProcess(wreq, req, reqID), 0, "", 0
+}
 
-	runStart := time.Now()
-	runErr := run()
-	elapsed := time.Since(runStart)
-	resp.RunMicros = elapsed.Microseconds()
-	s.met.latency(req.Backend).observe(elapsed)
+// runOnPool executes on a supervised worker, with crash forensics.
+// fellThrough=true means the caller should degrade to in-process.
+func (s *Server) runOnPool(wreq *worker.Request, req *RunRequest, hash, reqID string) (resp *RunResponse, errStatus int, errMsg string, retryIn time.Duration, fellThrough bool) {
+	// Register a canceler so a draining server can abort the worker
+	// round-trip (the pool kills the leased worker).
+	stop := make(chan struct{})
+	sc := &stopCanceler{ch: stop}
+	untrack := s.track(sc)
+	defer untrack()
 
-	resp.Stdout = out.String()
-	if runErr != nil {
+	crashes := 0
+	start := time.Now()
+	wresp, err := s.pool.Run(wreq, worker.RunInfo{
+		Hash: hash,
+		Stop: stop,
+		OnCrash: func(c worker.Crash) {
+			crashes++
+			s.met.recordCrash(CrashRecord{
+				UnixMS:    time.Now().UnixMilli(),
+				RequestID: reqID,
+				Hash:      hash,
+				PID:       c.PID,
+				Attempt:   c.Attempt,
+				Reason:    c.Reason,
+			})
+		},
+	})
+	wall := time.Since(start)
+
+	if err == nil {
+		// Isolation overhead = supervised round-trip minus the work the
+		// worker reported; the histogram quantifies the boundary cost.
+		exec := time.Duration(wresp.CompileMicros+wresp.RunMicros) * time.Microsecond
+		if over := wall - exec; over > 0 {
+			s.met.latOverhead.observe(over)
+		}
+		return s.toRunResponse(wresp, req, TierWorker, crashes+1, reqID), 0, "", 0, false
+	}
+
+	var qe *worker.QuarantinedError
+	var ce *worker.CrashedError
+	switch {
+	case errors.As(err, &qe):
+		return nil, http.StatusUnprocessableEntity, "", qe.Remaining, false
+	case errors.As(err, &ce):
+		return nil, http.StatusServiceUnavailable,
+			fmt.Sprintf("execution crashed %d worker(s); retry later", ce.Attempts), 0, false
+	case errors.Is(err, worker.ErrCancelled):
+		// Drain killed the attempt: report it like a governor trip, as
+		// the in-process path would.
+		resp := &RunResponse{
+			Backend: req.Backend, Opt: req.optLevel(),
+			Isolation: TierWorker, Attempts: crashes + 1, RequestID: reqID,
+			Error: &RunError{Stage: "runtime", Message: "execution cancelled: server is draining"},
+		}
 		s.met.runtimeErrors.Add(1)
-		re := &RunError{Stage: "runtime", Message: runErr.Error()}
-		var rte *value.RuntimeError
-		if errors.As(runErr, &rte) {
-			re.Pos = rte.Pos
-		}
-		resp.Error = re
-	} else {
-		s.met.okRuns.Add(1)
-		resp.OK = true
+		return resp, 0, "", 0, false
+	default: // ErrExhausted, ErrClosed
+		return nil, 0, "", 0, true
 	}
-	if col != nil {
-		events := col.Events()
-		sum := trace.Summarize(events)
-		resp.Trace = &TraceSummary{
-			Threads:      sum.Threads,
-			Steps:        sum.Steps,
-			LockAcquires: sum.LockAcquires,
-			LockWaits:    sum.LockWaits,
-			Outputs:      sum.Outputs,
-		}
-		if req.Race {
-			rep := racedetect.Analyze(events)
-			resp.Races = make([]string, 0, len(rep.Races))
-			for _, rc := range rep.Races {
-				resp.Races = append(resp.Races, rc.String())
+}
+
+// runInProcess is the degraded tier: execution in the server's own
+// process, with panic recovery so a backend bug costs one request, not
+// the service.
+func (s *Server) runInProcess(wreq *worker.Request, req *RunRequest, reqID string) (resp *RunResponse) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.met.panics.Add(1)
+			s.logf("panic in in-process execution (req %s): %v", reqID, rec)
+			s.met.runtimeErrors.Add(1)
+			resp = &RunResponse{
+				Backend: req.Backend, Opt: req.optLevel(),
+				Isolation: TierInProc, Attempts: 1, RequestID: reqID,
+				Error: &RunError{Stage: "runtime",
+					Message: fmt.Sprintf("internal error: execution panicked: %v", rec)},
 			}
 		}
+	}()
+	wresp := worker.ExecuteTracked(wreq, s.cache, s.track)
+	return s.toRunResponse(wresp, req, TierInProc, 1, reqID)
+}
+
+// toRunResponse converts a wire response into the HTTP body, counting
+// the outcome metrics.
+func (s *Server) toRunResponse(wresp *worker.Response, req *RunRequest, tier string, attempts int, reqID string) *RunResponse {
+	resp := &RunResponse{
+		OK:            wresp.OK,
+		Backend:       req.Backend,
+		Opt:           req.optLevel(),
+		Stdout:        wresp.Stdout,
+		CacheHit:      wresp.CacheHit,
+		CompileMicros: wresp.CompileMicros,
+		RunMicros:     wresp.RunMicros,
+		Isolation:     tier,
+		Attempts:      attempts,
+		RequestID:     reqID,
+	}
+	switch wresp.ErrStage {
+	case "":
+		s.met.okRuns.Add(1)
+	case "compile":
+		s.met.compileErrors.Add(1)
+		resp.Error = &RunError{Stage: "compile", Message: wresp.ErrMessage}
+	default:
+		s.met.runtimeErrors.Add(1)
+		resp.Error = &RunError{Stage: wresp.ErrStage, Message: wresp.ErrMessage, Pos: wresp.ErrPos}
+	}
+	if wresp.ErrStage != "compile" {
+		s.met.latency(req.Backend).observe(time.Duration(wresp.RunMicros) * time.Microsecond)
+	}
+	if wresp.Trace != nil {
+		resp.Trace = &TraceSummary{
+			Threads:      wresp.Trace.Threads,
+			Steps:        wresp.Trace.Steps,
+			LockAcquires: wresp.Trace.LockAcquires,
+			LockWaits:    wresp.Trace.LockWaits,
+			Outputs:      wresp.Trace.Outputs,
+		}
+	}
+	if req.Race && wresp.ErrStage != "compile" {
+		resp.Races = wresp.Races
+		if resp.Races == nil {
+			resp.Races = []string{}
+		}
 	}
 	return resp
 }
 
-func (s *Server) compileFailed(resp *RunResponse, err error, start time.Time) *RunResponse {
-	s.met.compileErrors.Add(1)
-	resp.CompileMicros = time.Since(start).Microseconds()
-	resp.Error = &RunError{Stage: "compile", Message: err.Error()}
-	return resp
-}
-
-// tracked wraps a backend run so the drain path can cancel it.
-func (s *Server) tracked(c canceler, run func() error) func() error {
-	return func() error {
-		id := s.nextID.Add(1)
+// track registers a live execution's canceler for the drain path and
+// returns its untrack func.
+func (s *Server) track(c worker.Canceler) func() {
+	id := s.nextID.Add(1)
+	s.mu.Lock()
+	s.running[id] = c
+	s.mu.Unlock()
+	return func() {
 		s.mu.Lock()
-		s.running[id] = c
+		delete(s.running, id)
 		s.mu.Unlock()
-		defer func() {
-			s.mu.Lock()
-			delete(s.running, id)
-			s.mu.Unlock()
-		}()
-		return run()
 	}
 }
+
+// stopCanceler adapts a stop channel to the Canceler interface, for
+// cancelling worker round-trips on drain.
+type stopCanceler struct {
+	once sync.Once
+	ch   chan struct{}
+}
+
+func (sc *stopCanceler) Cancel() { sc.once.Do(func() { close(sc.ch) }) }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
+// handleLive is the liveness probe: 200 for as long as the process can
+// serve HTTP at all, draining or not. Restart the process only when
+// this fails.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "alive"})
+}
+
+// handleReady is the readiness probe (also the legacy /healthz): 503 as
+// soon as a drain is announced, before admissions close — routers stop
+// sending traffic while in-flight runs are still finishing untouched.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.notReady.Load() || s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
@@ -360,37 +606,65 @@ func (s *Server) Metrics() MetricsSnapshot {
 	if total := st.Hits + st.Misses; total > 0 {
 		cm.HitRate = float64(st.Hits) / float64(total)
 	}
-	return MetricsSnapshot{
+	snap := MetricsSnapshot{
 		Draining:      s.draining.Load(),
+		Ready:         !(s.notReady.Load() || s.draining.Load()),
+		Isolation:     s.opts.Isolation,
 		InFlight:      s.met.inFlight.Load(),
 		QueueDepth:    s.met.queueDepth.Load(),
 		Requests:      s.met.requests.Load(),
 		OKRuns:        s.met.okRuns.Load(),
 		CompileErrors: s.met.compileErrors.Load(),
 		RuntimeErrors: s.met.runtimeErrors.Load(),
+		Rejected422:   s.met.rejected422.Load(),
 		Rejected429:   s.met.rejected429.Load(),
 		Rejected503:   s.met.rejected503.Load(),
 		BadRequests:   s.met.badRequests.Load(),
+		Panics:        s.met.panics.Load(),
+		Fallbacks:     s.met.fallbacks.Load(),
 		Cache:         cm,
 		Latency: map[string]HistogramSnapshot{
 			BackendInterp: s.met.latInterp.snapshot(),
 			BackendVM:     s.met.latVM.snapshot(),
 		},
+		WorkerCrashes: s.met.crashRecords(),
 	}
+	if s.pool != nil {
+		ps := s.pool.Stats()
+		snap.Worker = &ps
+		snap.Latency["isolation_overhead"] = s.met.latOverhead.snapshot()
+	}
+	return snap
 }
 
-// Drain gracefully shuts execution down: new requests are rejected with
-// 503, queued requests are woken and rejected, in-flight executions get
-// DrainGrace to finish naturally, and whatever still runs after the grace
-// is cancelled through the governor trip path — which wakes threads parked
-// on Tetra locks, so no execution can hold the drain hostage. Drain
-// returns once every execution has released its slot (or stop is closed /
-// fires first, in which case the error reports how many were abandoned).
+// Drain gracefully shuts execution down: readiness flips to 503 first
+// (and holds for DrainAnnounce so routers notice), then new requests are
+// rejected, queued requests are woken and rejected, in-flight executions
+// get DrainGrace to finish naturally, whatever still runs is cancelled
+// through the governor trip path — which wakes threads parked on Tetra
+// locks, so no execution can hold the drain hostage — and finally every
+// worker process is killed and reaped. Drain returns once every
+// execution has released its slot (or stop is closed / fires first, in
+// which case the error reports how many were abandoned).
 func (s *Server) Drain(stop <-chan struct{}) error {
 	s.drainOnce.Do(func() {
+		s.notReady.Store(true)
+		if d := s.opts.DrainAnnounce; d > 0 {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-stop:
+			}
+		}
 		s.draining.Store(true)
 		close(s.drainCh)
 	})
+	defer func() {
+		if s.pool != nil {
+			s.pool.Close()
+		}
+	}()
 	grace := time.NewTimer(s.opts.DrainGrace)
 	defer grace.Stop()
 	if s.waitIdle(grace.C, stop) {
@@ -423,10 +697,11 @@ func (s *Server) waitIdle(giveUp <-chan time.Time, stop <-chan struct{}) bool {
 	}
 }
 
-// cancelRunning trips every live execution's stop path.
+// cancelRunning trips every live execution's stop path: governors for
+// in-process runs, round-trip aborts (worker kills) for pooled runs.
 func (s *Server) cancelRunning() {
 	s.mu.Lock()
-	cs := make([]canceler, 0, len(s.running))
+	cs := make([]worker.Canceler, 0, len(s.running))
 	for _, c := range s.running {
 		cs = append(cs, c)
 	}
@@ -434,6 +709,27 @@ func (s *Server) cancelRunning() {
 	for _, c := range cs {
 		c.Cancel()
 	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// requestIDFrom accepts a well-formed client X-Request-ID or generates
+// one, so every response and every crash-forensics record carries a
+// correlation handle.
+func requestIDFrom(r *http.Request) string {
+	id := r.Header.Get("X-Request-ID")
+	if id != "" && len(id) <= 128 && printableToken(id) {
+		return id
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		return hex.EncodeToString(b[:])
+	}
+	return fmt.Sprintf("req-%d", time.Now().UnixNano())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -445,4 +741,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, ErrorResponse{Error: msg, Code: status})
+}
+
+func printableToken(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] <= 0x20 || s[i] >= 0x7f {
+			return false
+		}
+	}
+	return true
 }

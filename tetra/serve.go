@@ -6,13 +6,46 @@ import (
 	"net/http"
 
 	"repro/internal/server"
+	"repro/internal/worker"
 )
 
 // ServerOptions configures the tetrad execution service: the server-wide
 // limit ceiling, the admission controller (in-flight cap, queue bound,
-// queue timeout), the drain grace and the compile-cache size. The zero
-// value serves sandbox-limited executions with production defaults.
+// queue timeout), the drain grace and the compile-cache size, plus the
+// crash-isolation tier (Isolation, PoolSize, Retry, Quarantine). The
+// zero value serves sandbox-limited in-process executions with
+// production defaults; set Isolation to IsolationPool for supervised
+// worker processes.
 type ServerOptions = server.Options
+
+// Isolation modes for ServerOptions.Isolation.
+const (
+	// IsolationOff executes programs in the embedding process (the
+	// library default).
+	IsolationOff = server.IsolationOff
+	// IsolationPool executes each program in a supervised worker
+	// process: crashes cost one worker, not the service. The embedding
+	// binary must divert into worker mode when spawned as a worker —
+	// call ExitIfWorker first thing in main.
+	IsolationPool = server.IsolationPool
+)
+
+// ExitIfWorker diverts the current process into pooled-worker mode (and
+// never returns) when it was spawned as an execution worker. Binaries
+// that serve with IsolationPool must call it at the top of main.
+func ExitIfWorker() { worker.ExitIfWorker() }
+
+// RetryPolicy bounds execution attempts per request when worker
+// processes crash mid-run.
+type RetryPolicy = worker.RetryPolicy
+
+// QuarantinePolicy is the circuit breaker for programs that repeatedly
+// crash their workers.
+type QuarantinePolicy = worker.QuarantinePolicy
+
+// WorkerStats reports the worker supervisor's counters (spawns, crashes,
+// retries, reaps), surfaced in ServerMetrics.Worker.
+type WorkerStats = worker.Stats
 
 // Server is the execution service behind cmd/tetrad: POST /run compiles
 // (through a shared CompileCache) and executes untrusted programs under
