@@ -26,6 +26,10 @@
 //	          in-process tier vs supervised worker processes, plus the
 //	          worker tier under injected crashes (SIGKILL mid-run);
 //	          writes BENCH_isolate.json
+//	tiered    T1: execution-tier crossover — the same loop-bound
+//	          workloads on the interpreter, the warm bytecode VM and a
+//	          promoted gogen-compiled native artifact, outputs compared
+//	          byte-for-byte; writes BENCH_tiered.json
 //	all       everything except limits and scaling (default)
 //
 // Each speedup experiment prints the wall-clock table (meaningful on a
@@ -55,7 +59,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, limits, scaling, opt, sem, serve, isolate, or all")
+	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, limits, scaling, opt, sem, serve, isolate, tiered, or all")
 	limit := flag.Int("limit", 200000, "E1: count primes below this limit")
 	fullScale := flag.Bool("paper-scale", false, "E1: use the paper's full workload (first million primes ⇒ limit 15485864); slow on the interpreter")
 	n := flag.Int("n", 10, "E2: number of TSP cities")
@@ -111,6 +115,12 @@ func run() int {
 			outPath = "BENCH_isolate.json"
 		}
 		return isolate(*quick, *reps, outPath)
+	case "tiered":
+		outPath := *out
+		if outPath == "BENCH_scaling.json" {
+			outPath = "BENCH_tiered.json"
+		}
+		return tiered(*quick, *reps, outPath)
 	case "all":
 		if rc := primes(*limit, workers, *reps); rc != 0 {
 			return rc
@@ -307,6 +317,22 @@ func isolate(quick bool, reps int, outPath string) int {
 	}
 	fmt.Print(bench.FormatIsolateTable(rep))
 	if err := bench.WriteIsolateJSON(outPath, rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("\nwrote %s\n", outPath)
+	return 0
+}
+
+func tiered(quick bool, reps int, outPath string) int {
+	fmt.Println("T1: execution-tier crossover — interp vs warm VM vs promoted native artifact")
+	rep, err := bench.TieredExperiment(quick, reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Print(bench.FormatTieredTable(rep))
+	if err := bench.WriteTieredJSON(outPath, rep); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}

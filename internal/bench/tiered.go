@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/server"
+)
+
+// The tiered experiment (T1): where does the native promotion tier pay
+// off? The same loop-bound workloads are served by tetrad on all three
+// execution tiers — interpreter, warm bytecode VM, and a promoted
+// gogen-compiled native binary — and the report records the per-tier
+// request cost plus the crossover point where the native tier (which
+// pays a fork+exec per request) beats the warm VM. Outputs are compared
+// byte-for-byte across tiers: a native artifact that does not reproduce
+// the VM's stdout exactly is a correctness bug, not a speedup.
+// Reported as BENCH_tiered.json.
+
+// TieredRow is one workload measured on all three tiers.
+type TieredRow struct {
+	Workload      string `json:"workload"`
+	InterpNS      int64  `json:"interp_ns"`        // warm interp execution
+	VMNS          int64  `json:"vm_ns"`            // warm VM execution (cached bytecode)
+	NativeNS      int64  `json:"native_ns"`        // native process wall clock (spawn included)
+	PromoteWaitNS int64  `json:"promote_wait_ns"`  // first request → first native-served response
+	NativeWins    bool   `json:"native_wins"`      // native_ns < vm_ns
+	OutputsMatch  bool   `json:"outputs_match"`    // stdout identical across all three tiers
+	Output        string `json:"output,omitempty"` // the (shared) stdout, if it matched
+}
+
+// TieredReport is the BENCH_tiered.json document.
+type TieredReport struct {
+	Experiment string      `json:"experiment"`
+	HostCores  int         `json:"host_cores"`
+	Quick      bool        `json:"quick"`
+	Threshold  int         `json:"native_threshold"`
+	Rows       []TieredRow `json:"rows"`
+	Crossover  string      `json:"crossover"` // first workload where the native tier wins
+}
+
+// tieredWorkloads are deliberately loop-bound: tight scalar loops and
+// recursion are where an interpreted or bytecode tier pays per-step
+// dispatch that compiled Go does not.
+func tieredWorkloads(quick bool) []struct {
+	name string
+	src  string
+} {
+	fib := func(n int) string {
+		return fmt.Sprintf("def fib(n int) int:\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\n\ndef main():\n    print(fib(%d))\n", n)
+	}
+	if quick {
+		return []struct{ name, src string }{
+			{"arith_loop(20k)", ArithLoopSource(20000)},
+			{"arith_loop(80k)", ArithLoopSource(80000)},
+			{"fib(18)", fib(18)},
+		}
+	}
+	return []struct{ name, src string }{
+		{"arith_loop(100k)", ArithLoopSource(100000)},
+		{"arith_loop(400k)", ArithLoopSource(400000)},
+		{"fib(24)", fib(24)},
+	}
+}
+
+// TieredExperiment measures the three execution tiers through real HTTP.
+// Two servers keep the measurement honest: a baseline tetrad with the
+// native tier off provides clean interp/VM numbers, and a second tetrad
+// with NativeThreshold=1 promotes on first sight so the native numbers
+// are steady-state artifact executions.
+func TieredExperiment(quick bool, reps int) (*TieredReport, error) {
+	if !HaveToolchain() {
+		return nil, fmt.Errorf("tiered experiment needs the Go toolchain for gogen artifacts")
+	}
+	if reps < 3 {
+		reps = 3
+	}
+
+	base := server.New(server.Options{MaxInFlight: 2, QueueTimeout: 30 * time.Second})
+	baseTS := httptest.NewServer(base)
+	defer baseTS.Close()
+
+	nat := server.New(server.Options{
+		MaxInFlight:     2,
+		QueueTimeout:    30 * time.Second,
+		NativeThreshold: 1,
+	})
+	if nat.Promoter() == nil {
+		baseTS.Close()
+		return nil, fmt.Errorf("native tier unavailable (no Go toolchain/module)")
+	}
+	natTS := httptest.NewServer(nat)
+	defer func() {
+		natTS.Close()
+		_ = nat.Drain(nil) // reap artifact processes; zero orphans
+	}()
+
+	rep := &TieredReport{
+		Experiment: "tiered: interp vs warm VM vs promoted native artifact (per-request cost)",
+		HostCores:  runtime.GOMAXPROCS(0),
+		Quick:      quick,
+		Threshold:  1,
+	}
+
+	for _, wl := range tieredWorkloads(quick) {
+		interpNS, interpOut, err := measureTier(baseTS.URL, wl.src, server.BackendInterp, server.TierInProc, reps)
+		if err != nil {
+			return nil, fmt.Errorf("%s interp: %w", wl.name, err)
+		}
+		vmNS, vmOut, err := measureTier(baseTS.URL, wl.src, server.BackendVM, server.TierInProc, reps)
+		if err != nil {
+			return nil, fmt.Errorf("%s vm: %w", wl.name, err)
+		}
+
+		wait, err := awaitPromotion(natTS.URL, wl.src)
+		if err != nil {
+			return nil, fmt.Errorf("%s promotion: %w", wl.name, err)
+		}
+		nativeNS, nativeOut, err := measureTier(natTS.URL, wl.src, server.BackendVM, server.TierNative, reps)
+		if err != nil {
+			return nil, fmt.Errorf("%s native: %w", wl.name, err)
+		}
+
+		row := TieredRow{
+			Workload:      wl.name,
+			InterpNS:      interpNS,
+			VMNS:          vmNS,
+			NativeNS:      nativeNS,
+			PromoteWaitNS: wait.Nanoseconds(),
+			NativeWins:    nativeNS < vmNS,
+			OutputsMatch:  interpOut == vmOut && vmOut == nativeOut,
+		}
+		if row.OutputsMatch {
+			row.Output = interpOut
+		}
+		if row.NativeWins && rep.Crossover == "" {
+			rep.Crossover = wl.name
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+// postRun posts one /run request and decodes the body.
+func postRun(url, src, backend string) (*server.RunResponse, error) {
+	body, err := json.Marshal(server.RunRequest{Source: src, File: "tiered.ttr", Backend: backend})
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := http.Post(url+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("POST /run: HTTP %d", hresp.StatusCode)
+	}
+	var rr server.RunResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&rr); err != nil {
+		return nil, err
+	}
+	if !rr.OK {
+		return nil, fmt.Errorf("benchmark program failed on %s tier: %+v", rr.Isolation, rr.Error)
+	}
+	return &rr, nil
+}
+
+// measureTier warms once, then takes the best of reps requests, insisting
+// every measured response came from the expected tier.
+func measureTier(url, src, backend, wantTier string, reps int) (bestNS int64, stdout string, err error) {
+	if _, err := postRun(url, src, backend); err != nil {
+		return 0, "", err
+	}
+	for i := 0; i < reps; i++ {
+		rr, err := postRun(url, src, backend)
+		if err != nil {
+			return 0, "", err
+		}
+		if rr.Isolation != wantTier {
+			return 0, "", fmt.Errorf("expected tier %q, got %q", wantTier, rr.Isolation)
+		}
+		ns := rr.RunMicros * 1000
+		if bestNS == 0 || ns < bestNS {
+			bestNS = ns
+		}
+		stdout = rr.Stdout
+	}
+	return bestNS, stdout, nil
+}
+
+// awaitPromotion drives requests at the native server until one is served
+// by the native tier (the background builder finished), returning how
+// long promotion took from first sight.
+func awaitPromotion(url, src string) (time.Duration, error) {
+	const patience = 4 * time.Minute // first `go build` on a cold host is slow
+	start := time.Now()
+	deadline := start.Add(patience)
+	for time.Now().Before(deadline) {
+		rr, err := postRun(url, src, server.BackendVM)
+		if err != nil {
+			return 0, err
+		}
+		if rr.Isolation == server.TierNative {
+			return time.Since(start), nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return 0, fmt.Errorf("no native-served response within %s", patience)
+}
+
+// WriteTieredJSON writes the report for committing as BENCH_tiered.json.
+func WriteTieredJSON(path string, rep *TieredReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatTieredTable renders the report for the terminal.
+func FormatTieredTable(rep *TieredReport) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "  %d host cores, native threshold %d, per-request cost (best of reps, warm)\n",
+		rep.HostCores, rep.Threshold)
+	fmt.Fprintf(&b, "  %-17s %12s %12s %12s %9s %7s\n",
+		"workload", "interp", "vm(warm)", "native", "nat/vm", "match")
+	for _, r := range rep.Rows {
+		ratio := 0.0
+		if r.VMNS > 0 {
+			ratio = float64(r.NativeNS) / float64(r.VMNS)
+		}
+		fmt.Fprintf(&b, "  %-17s %12s %12s %12s %8.2fx %7v\n",
+			r.Workload,
+			time.Duration(r.InterpNS).Round(10*time.Microsecond),
+			time.Duration(r.VMNS).Round(10*time.Microsecond),
+			time.Duration(r.NativeNS).Round(10*time.Microsecond),
+			ratio, r.OutputsMatch)
+	}
+	if rep.Crossover != "" {
+		fmt.Fprintf(&b, "  crossover: native beats the warm VM from %s on\n", rep.Crossover)
+	} else {
+		fmt.Fprintf(&b, "  crossover: native never beat the warm VM (fork+exec dominates at these sizes)\n")
+	}
+	return b.String()
+}

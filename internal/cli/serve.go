@@ -48,6 +48,8 @@ func serveMain(args []string, stdout, stderr io.Writer, stop <-chan struct{}) in
 	quarThreshold := fs.Int("quarantine-threshold", 0, "worker crashes within the window that quarantine a program (0 = default 3, negative disables)")
 	quarWindow := fs.Duration("quarantine-window", 0, "crash-counting window (0 = default 1m)")
 	quarTTL := fs.Duration("quarantine-ttl", 0, "how long a quarantined program stays rejected (0 = default 5m)")
+	nativeThreshold := fs.Int("native-threshold", 32, "requests before a program is promoted to a gogen-compiled native binary (<=0 disables the native tier)")
+	nativeBuildDir := fs.String("native-builddir", "", "directory for promoted native artifacts (default <tmp>/tetrad-native)")
 	timeout := fs.Duration("timeout", 0, "ceiling: wall-clock limit per run (0 = sandbox default)")
 	maxSteps := fs.Int64("max-steps", 0, "ceiling: statement/instruction budget per run (0 = sandbox default)")
 	maxThreads := fs.Int64("max-threads", 0, "ceiling: concurrently-live threads per run (0 = sandbox default)")
@@ -95,7 +97,9 @@ func serveMain(args []string, stdout, stderr io.Writer, stop <-chan struct{}) in
 			Window:    *quarWindow,
 			TTL:       *quarTTL,
 		},
-		Logf: logger.Printf,
+		NativeThreshold: *nativeThreshold,
+		NativeBuildDir:  *nativeBuildDir,
+		Logf:            logger.Printf,
 	}
 	srv := server.New(opts)
 
@@ -107,6 +111,13 @@ func serveMain(args []string, stdout, stderr io.Writer, stop <-chan struct{}) in
 	ceil := srv.Ceiling()
 	fmt.Fprintf(stdout, "tetrad: listening on %s\n", ln.Addr())
 	fmt.Fprintf(stdout, "tetrad: isolation=%s\n", *isolation)
+	if *nativeThreshold > 0 {
+		if srv.Promoter() != nil {
+			fmt.Fprintf(stdout, "tetrad: native tier on (threshold=%d)\n", *nativeThreshold)
+		} else {
+			fmt.Fprintln(stdout, "tetrad: native tier unavailable (no Go toolchain/module); serving without it")
+		}
+	}
 	fmt.Fprintf(stdout, "tetrad: ceiling deadline=%s steps=%d threads=%d output=%dB alloc=%d cells\n",
 		ceil.Deadline, ceil.MaxSteps, ceil.MaxThreads, ceil.MaxOutputBytes, ceil.MaxAllocCells)
 

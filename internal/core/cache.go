@@ -30,6 +30,12 @@ type CompileCache struct {
 	bcs    map[bcKey]*bytecode.Program
 	hits   uint64
 	misses uint64
+	// perKey counts hits per source hash — the hotness signal the native
+	// promotion tier reads. It outlives entry eviction (popularity is not
+	// forgotten because the memo table cycled) but is itself bounded at a
+	// multiple of max so an adversarial stream of unique programs cannot
+	// grow it without bound.
+	perKey map[[sha256.Size]byte]uint64
 }
 
 type bcKey struct {
@@ -49,24 +55,53 @@ func NewCompileCache(maxEntries int) *CompileCache {
 		maxEntries = DefaultCacheEntries
 	}
 	return &CompileCache{
-		max:  maxEntries,
-		asts: make(map[[sha256.Size]byte]*ast.Program),
-		bcs:  make(map[bcKey]*bytecode.Program),
+		max:    maxEntries,
+		asts:   make(map[[sha256.Size]byte]*ast.Program),
+		bcs:    make(map[bcKey]*bytecode.Program),
+		perKey: make(map[[sha256.Size]byte]uint64),
 	}
 }
 
 // CacheStats reports cache effectiveness. A lookup that misses the
 // bytecode table but hits the AST table counts one hit and one miss.
+// Tracked counts the distinct program hashes with per-hash hit counters.
 type CacheStats struct {
-	Hits   uint64
-	Misses uint64
+	Hits    uint64
+	Misses  uint64
+	Tracked int
 }
 
 // Stats returns the hit/miss counters accumulated so far.
 func (c *CompileCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Tracked: len(c.perKey)}
+}
+
+// HitCount returns how many cache hits (AST or bytecode) the program
+// (file, src) has accumulated — the per-hash hotness counter the native
+// promotion tier uses to decide what is worth a `go build`.
+func (c *CompileCache) HitCount(file, src string) uint64 {
+	key := sourceKey(file, src)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.perKey[key]
+}
+
+// hitLocked charges one hit to the aggregate and per-hash counters.
+func (c *CompileCache) hitLocked(key [sha256.Size]byte) {
+	c.hits++
+	if len(c.perKey) >= 8*c.max {
+		if _, ok := c.perKey[key]; !ok {
+			// Counter table full and this hash is new: drop an arbitrary
+			// counter. Popularity tracking degrades before memory does.
+			for k := range c.perKey {
+				delete(c.perKey, k)
+				break
+			}
+		}
+	}
+	c.perKey[key]++
 }
 
 // PeekAST reports whether the checked AST for (file, src) is already
@@ -107,7 +142,7 @@ func (c *CompileCache) Compile(file, src string) (*ast.Program, error) {
 	key := sourceKey(file, src)
 	c.mu.Lock()
 	if p, ok := c.asts[key]; ok {
-		c.hits++
+		c.hitLocked(key)
 		c.mu.Unlock()
 		return p, nil
 	}
@@ -132,7 +167,7 @@ func (c *CompileCache) CompileBytecode(file, src string, level int) (*bytecode.P
 	key := bcKey{hash: sourceKey(file, src), level: level}
 	c.mu.Lock()
 	if bc, ok := c.bcs[key]; ok {
-		c.hits++
+		c.hitLocked(key.hash)
 		c.mu.Unlock()
 		return bc, nil
 	}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The per-hash hit counters are the native tier's hotness signal: they
+// must count warm compiles per program, survive entry eviction, and stay
+// bounded against an adversarial stream of unique programs.
+
+func TestHitCountPerProgram(t *testing.T) {
+	c := NewCompileCache(8)
+	src := "def main():\n    print(1)\n"
+	other := "def main():\n    print(2)\n"
+
+	if n := c.HitCount("a.ttr", src); n != 0 {
+		t.Fatalf("unseen program HitCount = %d", n)
+	}
+	if _, err := c.Compile("a.ttr", src); err != nil { // cold: a miss
+		t.Fatal(err)
+	}
+	if n := c.HitCount("a.ttr", src); n != 0 {
+		t.Fatalf("cold compile counted as hit: %d", n)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Compile("a.ttr", src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Compile("b.ttr", other); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compile("b.ttr", other); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.HitCount("a.ttr", src); n != 3 {
+		t.Errorf("HitCount(a) = %d, want 3", n)
+	}
+	if n := c.HitCount("b.ttr", other); n != 1 {
+		t.Errorf("HitCount(b) = %d, want 1", n)
+	}
+	st := c.Stats()
+	if st.Hits != 4 || st.Misses != 2 {
+		t.Errorf("aggregate stats drifted from per-key counts: %+v", st)
+	}
+	if st.Tracked != 2 {
+		t.Errorf("Tracked = %d, want 2", st.Tracked)
+	}
+}
+
+func TestHitCountCountsBytecodeHits(t *testing.T) {
+	c := NewCompileCache(8)
+	src := "def main():\n    print(1)\n"
+	if _, err := c.CompileBytecode("a.ttr", src, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.CompileBytecode("a.ttr", src, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bytecode hits count toward the same program identity the server
+	// promotes on, regardless of opt level.
+	if n := c.HitCount("a.ttr", src); n != 2 {
+		t.Errorf("HitCount after bytecode hits = %d, want 2", n)
+	}
+}
+
+func TestHitCountSurvivesEviction(t *testing.T) {
+	c := NewCompileCache(1) // one AST entry: every other program evicts
+	hot := "def main():\n    print(42)\n"
+	if _, err := c.Compile("hot.ttr", hot); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Compile("hot.ttr", hot); err != nil {
+		t.Fatal(err)
+	}
+	// Evict the hot program's entry with a different one.
+	if _, err := c.Compile("cold.ttr", "def main():\n    print(0)\n"); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.HitCount("hot.ttr", hot); n != 1 {
+		t.Errorf("hit history lost to entry eviction: %d", n)
+	}
+}
+
+func TestHitCountTableIsBounded(t *testing.T) {
+	c := NewCompileCache(1) // per-key table bounded at 8×max = 8
+	for i := 0; i < 50; i++ {
+		src := fmt.Sprintf("def main():\n    print(%d)\n", i)
+		if _, err := c.Compile("u.ttr", src); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Compile("u.ttr", src); err != nil { // warm hit
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Tracked > 8 {
+		t.Errorf("per-key table unbounded: tracked %d", st.Tracked)
+	}
+}

@@ -49,6 +49,10 @@ const (
 	PipeTruncate = "pipe-truncate"
 	// HandlerPanic panics inside HTTP request handling.
 	HandlerPanic = "handler-panic"
+	// NativeKill SIGKILLs a native-tier artifact process right after it
+	// starts, simulating a crashing promoted binary — the trigger for
+	// the demotion path (native → VM retry, artifact invalidated).
+	NativeKill = "native-kill"
 )
 
 // EnvVar is the environment variable FromEnv reads the spec from.

@@ -22,11 +22,11 @@ func TestParseRoundTrip(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	for _, spec := range []string{
-		"worker-panic",        // no probability
-		"worker-panic=1.5",    // out of range
-		"worker-panic=x",      // not a number
+		"worker-panic",         // no probability
+		"worker-panic=1.5",     // out of range
+		"worker-panic=x",       // not a number
 		"worker-delay=0.5:-1s", // negative delay
-		"worker-delay=0.5:zz", // bad duration
+		"worker-delay=0.5:zz",  // bad duration
 	} {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) should fail", spec)

@@ -2,6 +2,7 @@ package gogen
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -71,6 +72,34 @@ func runGenerated(t *testing.T, src, input string) (string, error) {
 	}
 	cmd := exec.Command("go", "run", "./"+filepath.Base(dir))
 	cmd.Dir = root
+	cmd.Stdin = strings.NewReader(input)
+	var out, errOut bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errOut
+	runErr := cmd.Run()
+	if runErr != nil {
+		return out.String(), &runError{stderr: errOut.String(), err: runErr}
+	}
+	return out.String(), nil
+}
+
+// runGeneratedEnv is runGenerated with extra environment for the child
+// (the guard knobs the native tier derives from request limits).
+func runGeneratedEnv(t *testing.T, src, input string, extraEnv []string) (string, error) {
+	t.Helper()
+	goSrc := generate(t, src)
+	root := moduleRoot(t)
+	dir, err := os.MkdirTemp(root, ".gogen-test-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(goSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./"+filepath.Base(dir))
+	cmd.Dir = root
+	cmd.Env = append(os.Environ(), extraEnv...)
 	cmd.Stdin = strings.NewReader(input)
 	var out, errOut bytes.Buffer
 	cmd.Stdout = &out
@@ -366,5 +395,59 @@ func TestGeneratedGoldenCorpus(t *testing.T) {
 				t.Errorf("output:\n%s\nwant:\n%s", got, want)
 			}
 		})
+	}
+}
+
+// TestGenerateIsDeterministic anchors the native tier's artifact cache:
+// promoted binaries are content-addressed by the hash of the generated
+// source, so emission must be byte-stable across calls and across
+// independent compiles of the same program.
+func TestGenerateIsDeterministic(t *testing.T) {
+	src := `def work(n int) int:
+    s = 0
+    for i in range(n):
+        s = s + i
+    return s
+
+def main():
+    parallel:
+        a = work(10)
+        b = work(20)
+    lock m:
+        c = a + b
+    print(c, " ", "x" + "y")
+`
+	first := generate(t, src)
+	for i := 0; i < 3; i++ {
+		if again := generate(t, src); again != first {
+			t.Fatalf("emission drifted on call %d:\n--- first ---\n%s\n--- again ---\n%s", i, first, again)
+		}
+	}
+	// Across an independent front-end compile too.
+	if again, err := Generate(compile(t, src)); err != nil || again != first {
+		t.Fatalf("emission differs across compiles (err=%v)", err)
+	}
+}
+
+// TestGeneratedAllocBudget: the TETRA_MAX_ALLOC knob must govern
+// generated binaries — the native tier derives it from the request's
+// limits, closing the gap where compiled programs ran unmetered.
+func TestGeneratedAllocBudget(t *testing.T) {
+	src := `def main():
+    a = range(1000)
+    print(len(a))
+`
+	out, err := runGeneratedEnv(t, src, "", []string{"TETRA_MAX_ALLOC=100"})
+	if err == nil {
+		t.Fatalf("alloc budget never tripped; stdout %q", out)
+	}
+	var re *runError
+	if !errors.As(err, &re) || !strings.Contains(re.stderr, "allocation budget") {
+		t.Fatalf("wrong failure: %v", err)
+	}
+	// Generous budget: runs fine.
+	out, err = runGeneratedEnv(t, src, "", []string{"TETRA_MAX_ALLOC=10000"})
+	if err != nil || out != "1000\n" {
+		t.Fatalf("within budget: out %q err %v", out, err)
 	}
 }

@@ -91,10 +91,17 @@ func Catch(main func()) {
 //	TETRA_MAX_STEPS   loop back-edge budget across all threads
 //	TETRA_MAX_THREADS maximum concurrently-live threads
 //	TETRA_MAX_OUTPUT  maximum bytes of program output
+//	TETRA_MAX_ALLOC   maximum allocation cells (array elements and
+//	                  string bytes on the growth paths)
 //
 // Generated code calls Tick at every loop back-edge and Enter on every
-// function entry; Par/ParArg/Go charge thread spawns. A tripped budget
-// raises the same "runtime error:" diagnostics the interpreter produces.
+// function entry; Par/ParArg/Go charge thread spawns; the allocation
+// paths (array literals and make-style construction, range
+// materialization, push, string concatenation) charge cells. A tripped
+// budget raises the same "runtime error:" diagnostics the interpreter
+// produces. A malformed value is ignored with a warning on stderr —
+// never silently — because when tetrad's native tier runs these
+// binaries, a misparsed knob is a serving bug, not a shell typo.
 
 // MaxCallDepth mirrors the interpreter's recursion bound, so runaway
 // recursion in a compiled program is a Tetra runtime error instead of a
@@ -106,12 +113,14 @@ var (
 	gMaxSteps   int64
 	gMaxThreads int64
 	gMaxOutput  int64
+	gMaxAlloc   int64
 	gTimeout    time.Duration
 	gDeadline   time.Time
 
 	gSteps  atomic.Int64
 	gLive   atomic.Int64
 	gOutput atomic.Int64
+	gAlloc  atomic.Int64
 )
 
 // tickMask batches the wall-clock check: time.Now runs once per 8192 ticks.
@@ -124,8 +133,13 @@ func InitGuard() {
 	gMaxSteps = envInt64("TETRA_MAX_STEPS")
 	gMaxThreads = envInt64("TETRA_MAX_THREADS")
 	gMaxOutput = envInt64("TETRA_MAX_OUTPUT")
+	gMaxAlloc = envInt64("TETRA_MAX_ALLOC")
+	gAlloc.Store(0)
 	if v := os.Getenv("TETRA_TIMEOUT"); v != "" {
-		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			fmt.Fprintf(os.Stderr, "gort: ignoring TETRA_TIMEOUT=%q: want a positive Go duration\n", v)
+		} else {
 			gTimeout = d
 			gDeadline = time.Now().Add(d)
 			// Hard backstop: a thread stuck in an uninterruptible blocking
@@ -137,10 +151,13 @@ func InitGuard() {
 			})
 		}
 	}
-	gEnabled = gMaxSteps > 0 || gMaxThreads > 0 || gMaxOutput > 0 || gTimeout > 0
+	gEnabled = gMaxSteps > 0 || gMaxThreads > 0 || gMaxOutput > 0 || gMaxAlloc > 0 || gTimeout > 0
 	gLive.Store(1) // the main thread counts against the thread budget
 }
 
+// envInt64 parses a non-negative integer knob. A malformed or negative
+// value is worth a warning, not silence: the supervisor that set it
+// believes a budget is in force.
 func envInt64(name string) int64 {
 	v := os.Getenv(name)
 	if v == "" {
@@ -148,9 +165,19 @@ func envInt64(name string) int64 {
 	}
 	n, err := strconv.ParseInt(v, 10, 64)
 	if err != nil || n < 0 {
+		fmt.Fprintf(os.Stderr, "gort: ignoring %s=%q: want a non-negative integer\n", name, v)
 		return 0
 	}
 	return n
+}
+
+// chargeAlloc bills n cells (array elements or string bytes) against the
+// allocation budget — the compiled mirror of the interpreter's
+// chargeAlloc, with the same error wording.
+func chargeAlloc(n int64) {
+	if gMaxAlloc > 0 && gAlloc.Add(n) > gMaxAlloc {
+		Raise("exceeded allocation budget (%d cells)", gMaxAlloc)
+	}
 }
 
 // Enter bounds recursion; generated functions call it on entry with their
@@ -301,11 +328,18 @@ func Reraise() {
 // Array is a Tetra array: reference semantics, like the interpreter's.
 type Array[T any] struct{ E []T }
 
-// NewArray wraps the given elements.
-func NewArray[T any](elems ...T) *Array[T] { return &Array[T]{E: elems} }
+// NewArray wraps the given elements (array literals), charging them
+// against the allocation budget like the interpreter does.
+func NewArray[T any](elems ...T) *Array[T] {
+	chargeAlloc(int64(len(elems)))
+	return &Array[T]{E: elems}
+}
 
 // MakeArray allocates n zero elements.
-func MakeArray[T any](n int64) *Array[T] { return &Array[T]{E: make([]T, n)} }
+func MakeArray[T any](n int64) *Array[T] {
+	chargeAlloc(n)
+	return &Array[T]{E: make([]T, n)}
+}
 
 // Len returns the element count as a Tetra int.
 func (a *Array[T]) Len() int64 { return int64(len(a.E)) }
@@ -331,7 +365,10 @@ func (a *Array[T]) Set(i int64, v T) {
 }
 
 // Push appends an element (the future-work growable-array operation).
-func (a *Array[T]) Push(v T) { a.E = append(a.E, v) }
+func (a *Array[T]) Push(v T) {
+	chargeAlloc(1)
+	a.E = append(a.E, v)
+}
 
 // String renders the array in Tetra's print format.
 func (a *Array[T]) String() string {
@@ -353,6 +390,7 @@ func Range(lo, hi int64) *Array[int64] {
 	if err != nil {
 		raiseSem(err)
 	}
+	chargeAlloc(n)
 	out := make([]int64, n)
 	for i := range out {
 		out[i] = lo + int64(i)
@@ -374,11 +412,22 @@ func RangeN(args ...int64) *Array[int64] {
 	if err != nil {
 		raiseSem(err)
 	}
+	chargeAlloc(n)
 	out := make([]int64, n)
 	for i := range out {
 		out[i] = lo + int64(i)
 	}
 	return &Array[int64]{E: out}
+}
+
+// Concat is Tetra string concatenation, charging the built bytes
+// against the allocation budget the way the interpreter and VM do, so a
+// string-doubling loop trips the same "exceeded allocation budget"
+// error natively instead of eating the host's memory.
+func Concat(a, b string) string {
+	s := a + b
+	chargeAlloc(int64(len(s)))
+	return s
 }
 
 // StrLen returns the number of Unicode characters in s — Tetra's len on

@@ -1,6 +1,7 @@
 package gort
 
 import (
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -308,5 +309,71 @@ func TestFormatReal(t *testing.T) {
 		if got := FormatReal(f); got != want {
 			t.Errorf("FormatReal(%v) = %q, want %q", f, got, want)
 		}
+	}
+}
+
+func TestAllocBudget(t *testing.T) {
+	t.Setenv("TETRA_MAX_ALLOC", "10")
+	InitGuard()
+	defer func() {
+		os.Unsetenv("TETRA_MAX_ALLOC")
+		InitGuard()
+	}()
+
+	if err := catchErr(func() { MakeArray[int64](8) }); err != nil {
+		t.Fatalf("within budget raised: %v", err)
+	}
+	err := catchErr(func() { MakeArray[int64](8) }) // cumulative: 16 > 10
+	if err == nil || !strings.Contains(err.Msg, "allocation budget") {
+		t.Fatalf("over-budget MakeArray err = %v", err)
+	}
+
+	// The budget is cumulative across allocation kinds: literals, push,
+	// range materialization and string concat all charge it.
+	InitGuard()
+	if err := catchErr(func() { NewArray[int64](1, 2, 3) }); err != nil {
+		t.Fatalf("literal raised: %v", err)
+	}
+	a := NewArray[int64](1, 2, 3) // 6 cells now
+	if err := catchErr(func() {
+		for i := 0; i < 8; i++ {
+			a.Push(int64(i))
+		}
+	}); err == nil || !strings.Contains(err.Msg, "allocation budget") {
+		t.Fatalf("Push never tripped: %v", err)
+	}
+
+	InitGuard()
+	if err := catchErr(func() { Range(0, 100) }); err == nil || !strings.Contains(err.Msg, "allocation budget") {
+		t.Fatalf("Range(0,100) err = %v", err)
+	}
+
+	InitGuard()
+	if got := Concat("ab", "cd"); got != "abcd" {
+		t.Fatalf("Concat = %q", got)
+	}
+	if err := catchErr(func() { Concat(strings.Repeat("x", 6), strings.Repeat("y", 6)) }); err == nil ||
+		!strings.Contains(err.Msg, "allocation budget") {
+		t.Fatalf("Concat never tripped: %v", err)
+	}
+}
+
+func TestAllocBudgetUnsetIsUnlimited(t *testing.T) {
+	t.Setenv("TETRA_MAX_ALLOC", "")
+	InitGuard()
+	if err := catchErr(func() { MakeArray[int64](1 << 16) }); err != nil {
+		t.Fatalf("unlimited alloc raised: %v", err)
+	}
+}
+
+func TestEnvInt64WarnsOnMalformed(t *testing.T) {
+	t.Setenv("TETRA_MAX_ALLOC", "banana")
+	InitGuard() // must not panic; malformed values are ignored with a warning
+	defer func() {
+		os.Unsetenv("TETRA_MAX_ALLOC")
+		InitGuard()
+	}()
+	if err := catchErr(func() { MakeArray[int64](64) }); err != nil {
+		t.Fatalf("malformed budget should disable, not trip: %v", err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/promote"
 	"repro/internal/worker"
 )
 
@@ -96,8 +97,14 @@ type metrics struct {
 	inFlight      atomic.Int64
 	queueDepth    atomic.Int64
 
+	promotions      atomic.Int64 // programs promoted to a native artifact
+	nativeRuns      atomic.Int64 // requests served by the native tier
+	nativeDemotions atomic.Int64 // artifact crashes that demoted a program
+	nativeSkips     atomic.Int64 // native tier skipped (artifact quarantined)
+
 	latInterp   histogram
 	latVM       histogram
+	latNative   histogram // native-artifact runs (wall clock of the process)
 	latOverhead histogram // supervised round-trip minus worker-reported work
 
 	crashMu sync.Mutex
@@ -154,6 +161,17 @@ type MetricsSnapshot struct {
 	Fallbacks     int64                        `json:"fallbacks"`
 	Cache         CacheMetrics                 `json:"cache"`
 	Latency       map[string]HistogramSnapshot `json:"latency"`
+	// Native-tier counters (all zero when the tier is off).
+	Promotions      int64 `json:"promotions,omitempty"`
+	NativeRuns      int64 `json:"native_runs,omitempty"`
+	NativeDemotions int64 `json:"native_demotions,omitempty"`
+	NativeSkips     int64 `json:"native_skips,omitempty"`
+	// Native reports the artifact runner's process accounting (nil when
+	// the native tier is off).
+	Native *worker.NativeStats `json:"native,omitempty"`
+	// Promote reports the promotion state machine (nil when the native
+	// tier is off).
+	Promote *promote.Stats `json:"promote,omitempty"`
 	// Worker reports the supervisor counters (nil with isolation off).
 	Worker *worker.Stats `json:"worker,omitempty"`
 	// WorkerCrashes is the forensics ring: the most recent worker

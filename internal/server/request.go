@@ -74,7 +74,9 @@ type RunResponse struct {
 	CompileMicros int64 `json:"compile_us"`
 	RunMicros     int64 `json:"run_us"`
 	// Isolation reports which tier executed the program: "worker" (a
-	// supervised worker process) or "inproc" (the server process).
+	// supervised worker process), "inproc" (the server process), or
+	// "native" (a promoted gogen-compiled binary; Backend still echoes
+	// the engine the client asked for).
 	Isolation string `json:"isolation,omitempty"`
 	// Attempts counts execution attempts: 1 normally, more when worker
 	// crashes forced retries.
@@ -163,7 +165,10 @@ func (r *RunRequest) Validate() error {
 		r.Backend = BackendInterp
 	case BackendInterp, BackendVM:
 	default:
-		return fmt.Errorf("unknown backend %q (want %q or %q)", r.Backend, BackendInterp, BackendVM)
+		// "native" is deliberately not requestable: the native tier is a
+		// server-side promotion decision, not a client-visible engine.
+		return fmt.Errorf("unknown backend %q (want %q or %q; the native tier promotes hot programs automatically)",
+			r.Backend, BackendInterp, BackendVM)
 	}
 	if r.Opt != nil && (*r.Opt < 0 || *r.Opt > MaxOptLevel) {
 		return fmt.Errorf("opt level %d out of range [0, %d]", *r.Opt, MaxOptLevel)

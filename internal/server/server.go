@@ -57,6 +57,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/guard"
+	"repro/internal/promote"
 	"repro/internal/worker"
 )
 
@@ -74,6 +75,7 @@ const (
 const (
 	TierWorker = "worker" // ran inside a pooled worker process
 	TierInProc = "inproc" // ran in the server process
+	TierNative = "native" // ran a promoted gogen-compiled binary
 )
 
 // Options configures a Server; the zero value serves sandbox-limited
@@ -126,8 +128,23 @@ type Options struct {
 	// Quarantine is the circuit breaker for worker-killing programs.
 	Quarantine worker.QuarantinePolicy
 
-	// Faults arms the server-side injection points (fault.HandlerPanic)
-	// for the chaos suites. Nil means no injection.
+	// NativeThreshold enables the native promotion tier: after this many
+	// requests for one program, a background builder compiles it via
+	// gogen → `go build` and subsequent requests run the native binary
+	// (demoting back to the VM if the artifact crashes). 0 disables the
+	// tier — the library default; cmd/tetrad enables it at 32. The tier
+	// needs the Go toolchain; without one it silently stays off.
+	NativeThreshold int
+	// NativeBuildDir is where promoted artifacts are written
+	// (default <os.TempDir()>/tetrad-native). Artifacts are
+	// content-addressed and reused across restarts.
+	NativeBuildDir string
+	// NativeRebuildBackoff is the cooldown before a demoted program may
+	// be promoted again (default 30s).
+	NativeRebuildBackoff time.Duration
+
+	// Faults arms the server-side injection points (fault.HandlerPanic,
+	// fault.NativeKill) for the chaos suites. Nil means no injection.
 	Faults *fault.Injector
 	// Logf, when set, receives operational events: worker crashes with
 	// request-ID forensics, spawn failures, handler panics.
@@ -172,10 +189,12 @@ func (o Options) withDefaults() Options {
 // Server is the tetrad HTTP handler. Create with New; it is immediately
 // ready to serve and safe for concurrent use.
 type Server struct {
-	opts  Options
-	cache *core.CompileCache
-	pool  *worker.Pool // nil when isolation is off
-	sem   chan struct{}
+	opts     Options
+	cache    *core.CompileCache
+	pool     *worker.Pool         // nil when isolation is off
+	promoter *promote.Manager     // nil when the native tier is off
+	native   *worker.NativeRunner // nil when the native tier is off
+	sem      chan struct{}
 
 	notReady  atomic.Bool // readiness flipped (drain announced)
 	draining  atomic.Bool // admissions closed
@@ -212,6 +231,38 @@ func New(opts Options) *Server {
 			Logf:       opts.Logf,
 		})
 	}
+	if opts.NativeThreshold > 0 {
+		native := worker.NewNativeRunner(worker.NativeOptions{
+			Quarantine: opts.Quarantine,
+			Faults:     opts.Faults,
+			Logf:       opts.Logf,
+		})
+		promoter := promote.New(promote.Config{
+			Threshold:      opts.NativeThreshold,
+			BuildDir:       opts.NativeBuildDir,
+			RebuildBackoff: opts.NativeRebuildBackoff,
+			Logf:           opts.Logf,
+			OnReady: func(nativeHash string) {
+				// A fresh artifact wipes the slate: crashes recorded
+				// against the program's previous binary must not hold it
+				// behind a stale quarantine (in either breaker).
+				native.Acquit(nativeHash)
+				if s.pool != nil {
+					s.pool.Acquit(nativeHash)
+				}
+				s.met.promotions.Add(1)
+			},
+		})
+		if promoter.Enabled() {
+			s.promoter, s.native = promoter, native
+		} else {
+			// No toolchain: the tier stays off and every request simply
+			// serves on the interp/VM tiers, as before.
+			promoter.Close()
+			native.Close()
+			s.logf("native tier requested but unavailable (no Go toolchain/module); serving without it")
+		}
+	}
 	return s
 }
 
@@ -224,6 +275,14 @@ func (s *Server) Cache() *core.CompileCache { return s.cache }
 // Pool exposes the worker supervisor, or nil when isolation is off
 // (for tests and benchmarks).
 func (s *Server) Pool() *worker.Pool { return s.pool }
+
+// Promoter exposes the native promotion manager, or nil when the
+// native tier is off (for tests and benchmarks).
+func (s *Server) Promoter() *promote.Manager { return s.promoter }
+
+// Native exposes the native artifact runner, or nil when the native
+// tier is off (for tests and benchmarks).
+func (s *Server) Native() *worker.NativeRunner { return s.native }
 
 // statusWriter records whether a response has been started, so the
 // panic-recovery middleware knows whether a 500 can still be written.
@@ -412,8 +471,21 @@ func (s *Server) execute(req *RunRequest, hash, reqID string) (resp *RunResponse
 		Limits:    eff,
 	}
 
+	// The native tier gets first refusal: a promoted artifact beats both
+	// engines on hot loop-bound programs (BENCH_tiered.json). Trace and
+	// race requests stay on the interp tier — native binaries carry no
+	// event collector.
+	prior := 0
+	if s.native != nil && !req.Trace && !req.Race {
+		resp, served, attempted := s.runNative(wreq, req, reqID)
+		if served {
+			return resp, 0, "", 0
+		}
+		prior = attempted // a crashed native attempt counts toward Attempts
+	}
+
 	if s.pool != nil {
-		resp, errStatus, errMsg, retryIn, fellThrough := s.runOnPool(wreq, req, hash, reqID)
+		resp, errStatus, errMsg, retryIn, fellThrough := s.runOnPool(wreq, req, hash, reqID, prior)
 		if !fellThrough {
 			return resp, errStatus, errMsg, retryIn
 		}
@@ -422,12 +494,82 @@ func (s *Server) execute(req *RunRequest, hash, reqID string) (resp *RunResponse
 		s.met.fallbacks.Add(1)
 		s.logf("worker pool exhausted; running req %s in-process (degraded)", reqID)
 	}
-	return s.runInProcess(wreq, req, reqID), 0, "", 0
+	return s.runInProcess(wreq, req, reqID, prior), 0, "", 0
+}
+
+// runNative tries the promoted-artifact tier. served=false means the
+// caller should fall through to the pool/in-process tiers (no artifact
+// yet, artifact quarantined, or the artifact crashed and was demoted);
+// attempted counts the crashed attempt, if any, so the final response's
+// Attempts reflects the whole journey.
+func (s *Server) runNative(wreq *worker.Request, req *RunRequest, reqID string) (resp *RunResponse, served bool, attempted int) {
+	nhash := promote.Key(req.File, req.Source)
+	bin, ok := s.promoter.Artifact(req.File, req.Source)
+	if !ok {
+		// Not promoted (yet): this request is the hotness signal. The
+		// supervisor counts requests itself because worker processes
+		// keep private compile caches it cannot see into.
+		s.promoter.Observe(req.File, req.Source)
+		return nil, false, 0
+	}
+	if _, q := s.native.Quarantined(nhash); q {
+		// The artifact is circuit-broken but the program itself is fine:
+		// skip the native tier rather than 422 the request.
+		s.met.nativeSkips.Add(1)
+		return nil, false, 0
+	}
+
+	stop := make(chan struct{})
+	sc := &stopCanceler{ch: stop}
+	untrack := s.track(sc)
+	defer untrack()
+
+	wresp, err := s.native.Run(bin, wreq, worker.RunInfo{
+		Hash: nhash,
+		Stop: stop,
+		OnCrash: func(c worker.Crash) {
+			s.met.recordCrash(CrashRecord{
+				UnixMS:    time.Now().UnixMilli(),
+				RequestID: reqID,
+				Hash:      nhash,
+				PID:       c.PID,
+				Attempt:   c.Attempt,
+				Reason:    c.Reason,
+			})
+		},
+	})
+	if err == nil {
+		s.met.nativeRuns.Add(1)
+		return s.toRunResponse(wresp, req, TierNative, 1, reqID), true, 0
+	}
+	if errors.Is(err, worker.ErrCancelled) {
+		s.met.runtimeErrors.Add(1)
+		return &RunResponse{
+			Backend: req.Backend, Opt: req.optLevel(),
+			Isolation: TierNative, Attempts: 1, RequestID: reqID,
+			Error: &RunError{Stage: "runtime", Message: "execution cancelled: server is draining"},
+		}, true, 0
+	}
+	var ne *worker.NativeCrashError
+	if errors.As(err, &ne) {
+		// Demote and retry on the VM tier — transparently, within this
+		// same request.
+		s.met.nativeDemotions.Add(1)
+		s.promoter.Demote(req.File, req.Source, ne.Reason)
+		s.logf("native artifact crashed (req %s, hash %s): %s; demoted, retrying on %s tier",
+			reqID, nhash, ne.Reason, req.Backend)
+		return nil, false, 1
+	}
+	// ErrClosed (drain race) or quarantine tripped between check and run:
+	// fall through without counting an attempt.
+	return nil, false, 0
 }
 
 // runOnPool executes on a supervised worker, with crash forensics.
-// fellThrough=true means the caller should degrade to in-process.
-func (s *Server) runOnPool(wreq *worker.Request, req *RunRequest, hash, reqID string) (resp *RunResponse, errStatus int, errMsg string, retryIn time.Duration, fellThrough bool) {
+// fellThrough=true means the caller should degrade to in-process. prior
+// counts earlier attempts on other tiers (a crashed native run), so
+// Attempts in the response reflects the whole journey.
+func (s *Server) runOnPool(wreq *worker.Request, req *RunRequest, hash, reqID string, prior int) (resp *RunResponse, errStatus int, errMsg string, retryIn time.Duration, fellThrough bool) {
 	// Register a canceler so a draining server can abort the worker
 	// round-trip (the pool kills the leased worker).
 	stop := make(chan struct{})
@@ -461,7 +603,7 @@ func (s *Server) runOnPool(wreq *worker.Request, req *RunRequest, hash, reqID st
 		if over := wall - exec; over > 0 {
 			s.met.latOverhead.observe(over)
 		}
-		return s.toRunResponse(wresp, req, TierWorker, crashes+1, reqID), 0, "", 0, false
+		return s.toRunResponse(wresp, req, TierWorker, prior+crashes+1, reqID), 0, "", 0, false
 	}
 
 	var qe *worker.QuarantinedError
@@ -477,7 +619,7 @@ func (s *Server) runOnPool(wreq *worker.Request, req *RunRequest, hash, reqID st
 		// the in-process path would.
 		resp := &RunResponse{
 			Backend: req.Backend, Opt: req.optLevel(),
-			Isolation: TierWorker, Attempts: crashes + 1, RequestID: reqID,
+			Isolation: TierWorker, Attempts: prior + crashes + 1, RequestID: reqID,
 			Error: &RunError{Stage: "runtime", Message: "execution cancelled: server is draining"},
 		}
 		s.met.runtimeErrors.Add(1)
@@ -490,7 +632,7 @@ func (s *Server) runOnPool(wreq *worker.Request, req *RunRequest, hash, reqID st
 // runInProcess is the degraded tier: execution in the server's own
 // process, with panic recovery so a backend bug costs one request, not
 // the service.
-func (s *Server) runInProcess(wreq *worker.Request, req *RunRequest, reqID string) (resp *RunResponse) {
+func (s *Server) runInProcess(wreq *worker.Request, req *RunRequest, reqID string, prior int) (resp *RunResponse) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			s.met.panics.Add(1)
@@ -498,14 +640,14 @@ func (s *Server) runInProcess(wreq *worker.Request, req *RunRequest, reqID strin
 			s.met.runtimeErrors.Add(1)
 			resp = &RunResponse{
 				Backend: req.Backend, Opt: req.optLevel(),
-				Isolation: TierInProc, Attempts: 1, RequestID: reqID,
+				Isolation: TierInProc, Attempts: prior + 1, RequestID: reqID,
 				Error: &RunError{Stage: "runtime",
 					Message: fmt.Sprintf("internal error: execution panicked: %v", rec)},
 			}
 		}
 	}()
 	wresp := worker.ExecuteTracked(wreq, s.cache, s.track)
-	return s.toRunResponse(wresp, req, TierInProc, 1, reqID)
+	return s.toRunResponse(wresp, req, TierInProc, prior+1, reqID)
 }
 
 // toRunResponse converts a wire response into the HTTP body, counting
@@ -534,7 +676,11 @@ func (s *Server) toRunResponse(wresp *worker.Response, req *RunRequest, tier str
 		resp.Error = &RunError{Stage: wresp.ErrStage, Message: wresp.ErrMessage, Pos: wresp.ErrPos}
 	}
 	if wresp.ErrStage != "compile" {
-		s.met.latency(req.Backend).observe(time.Duration(wresp.RunMicros) * time.Microsecond)
+		h := s.met.latency(req.Backend)
+		if tier == TierNative {
+			h = &s.met.latNative
+		}
+		h.observe(time.Duration(wresp.RunMicros) * time.Microsecond)
 	}
 	if wresp.Trace != nil {
 		resp.Trace = &TraceSummary{
@@ -634,6 +780,17 @@ func (s *Server) Metrics() MetricsSnapshot {
 		snap.Worker = &ps
 		snap.Latency["isolation_overhead"] = s.met.latOverhead.snapshot()
 	}
+	if s.native != nil {
+		ns := s.native.Stats()
+		snap.Native = &ns
+		pr := s.promoter.Stats()
+		snap.Promote = &pr
+		snap.Promotions = s.met.promotions.Load()
+		snap.NativeRuns = s.met.nativeRuns.Load()
+		snap.NativeDemotions = s.met.nativeDemotions.Load()
+		snap.NativeSkips = s.met.nativeSkips.Load()
+		snap.Latency[TierNative] = s.met.latNative.snapshot()
+	}
 	return snap
 }
 
@@ -663,6 +820,12 @@ func (s *Server) Drain(stop <-chan struct{}) error {
 	defer func() {
 		if s.pool != nil {
 			s.pool.Close()
+		}
+		if s.native != nil {
+			// Order matters: stop the builder first so no artifact lands
+			// after the runner has killed its children.
+			s.promoter.Close()
+			s.native.Close()
 		}
 	}()
 	grace := time.NewTimer(s.opts.DrainGrace)

@@ -3,6 +3,7 @@ package worker
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"strings"
 	"time"
 
@@ -61,7 +62,7 @@ func ExecuteTracked(req *Request, cache *core.CompileCache, track func(Canceler)
 		}
 		m := core.NewVM(bc, cfg)
 		run, c = m.Run, m
-	default:
+	case "", "interp":
 		resp.CacheHit = cache.PeekAST(req.File, req.Source)
 		prog, err := cache.Compile(req.File, req.Source)
 		if err != nil {
@@ -69,6 +70,13 @@ func ExecuteTracked(req *Request, cache *core.CompileCache, track func(Canceler)
 		}
 		in := core.NewInterp(prog, cfg)
 		run, c = in.Run, in
+	default:
+		// Refuse rather than silently running the interpreter: a request
+		// layer that forgot to validate its backend must hear about it,
+		// not get a default engine and byte-different semantics.
+		resp.ErrStage = "request"
+		resp.ErrMessage = fmt.Sprintf("unknown backend %q (want \"interp\" or \"vm\")", req.Backend)
+		return resp
 	}
 	resp.CompileMicros = time.Since(compileStart).Microseconds()
 

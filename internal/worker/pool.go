@@ -213,6 +213,13 @@ func (p *Pool) Quarantined(hash string) (time.Duration, bool) {
 	return p.quar.Quarantined(hash)
 }
 
+// Acquit clears hash's quarantine state and crash history. Callers use
+// it when the program behind the hash has materially changed — e.g. a
+// fresh native artifact was built — so old crashes stop counting
+// against the new binary and a stale 422 cannot outlive a successful
+// rebuild.
+func (p *Pool) Acquit(hash string) { p.quar.Invalidate(hash) }
+
 // Stats snapshots the pool counters.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()

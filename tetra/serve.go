@@ -15,7 +15,10 @@ import (
 // crash-isolation tier (Isolation, PoolSize, Retry, Quarantine). The
 // zero value serves sandbox-limited in-process executions with
 // production defaults; set Isolation to IsolationPool for supervised
-// worker processes.
+// worker processes. Set NativeThreshold > 0 to enable the native
+// promotion tier: hot programs are compiled via gogen and `go build`
+// into one-shot native binaries, with automatic demotion back to the
+// VM tier if an artifact crashes.
 type ServerOptions = server.Options
 
 // Isolation modes for ServerOptions.Isolation.
@@ -46,6 +49,11 @@ type QuarantinePolicy = worker.QuarantinePolicy
 // WorkerStats reports the worker supervisor's counters (spawns, crashes,
 // retries, reaps), surfaced in ServerMetrics.Worker.
 type WorkerStats = worker.Stats
+
+// NativeStats reports the native tier's process accounting (runs,
+// crashes, spawns, reaps), surfaced in ServerMetrics.Native when the
+// native promotion tier is enabled.
+type NativeStats = worker.NativeStats
 
 // Server is the execution service behind cmd/tetrad: POST /run compiles
 // (through a shared CompileCache) and executes untrusted programs under
