@@ -30,6 +30,10 @@
 //	          workloads on the interpreter, the warm bytecode VM and a
 //	          promoted gogen-compiled native artifact, outputs compared
 //	          byte-for-byte; writes BENCH_tiered.json
+//	session   SE1: streaming debug sessions — full-lifecycle latency
+//	          (create → terminal SSE frame), step-command round trips,
+//	          trace-frame throughput through the capped ring, and
+//	          concurrent streamed sessions; writes BENCH_session.json
 //	all       everything except limits and scaling (default)
 //
 // Each speedup experiment prints the wall-clock table (meaningful on a
@@ -59,7 +63,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, limits, scaling, opt, sem, serve, isolate, tiered, or all")
+	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, limits, scaling, opt, sem, serve, isolate, tiered, session, or all")
 	limit := flag.Int("limit", 200000, "E1: count primes below this limit")
 	fullScale := flag.Bool("paper-scale", false, "E1: use the paper's full workload (first million primes ⇒ limit 15485864); slow on the interpreter")
 	n := flag.Int("n", 10, "E2: number of TSP cities")
@@ -121,6 +125,12 @@ func run() int {
 			outPath = "BENCH_tiered.json"
 		}
 		return tiered(*quick, *reps, outPath)
+	case "session":
+		outPath := *out
+		if outPath == "BENCH_scaling.json" {
+			outPath = "BENCH_session.json"
+		}
+		return sessionExp(*quick, *reps, outPath)
 	case "all":
 		if rc := primes(*limit, workers, *reps); rc != 0 {
 			return rc
@@ -300,6 +310,23 @@ func serve(quick bool, reps int, outPath string) int {
 	}
 	fmt.Print(bench.FormatServeTable(rep))
 	if err := bench.WriteServeJSON(outPath, rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("\nwrote %s\n", outPath)
+	return 0
+}
+
+func sessionExp(quick bool, reps int, outPath string) int {
+	fmt.Println("SE1: streaming debug sessions — lifecycle latency, step round trips,")
+	fmt.Println("     trace-frame throughput through the capped ring, concurrent streams")
+	rep, err := bench.SessionExperiment(quick, reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Print(bench.FormatSessionTable(rep))
+	if err := bench.WriteSessionJSON(outPath, rep); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}

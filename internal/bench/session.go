@@ -1,0 +1,420 @@
+package bench
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/session"
+)
+
+// The session experiment (SE1): what does the streaming debug-session
+// path cost? Full-lifecycle latency (create → SSE end frame), step-command
+// round trips, trace-event streaming throughput through the capped ring,
+// and concurrent streamed sessions. Reported as BENCH_session.json.
+
+// SessionRow is one scenario measurement.
+type SessionRow struct {
+	Scenario      string  `json:"scenario"`
+	Sessions      int     `json:"sessions,omitempty"` // sessions opened in this scenario
+	Ops           int     `json:"ops,omitempty"`      // latency-sampled operations
+	WallNS        int64   `json:"wall_ns"`
+	P50NS         int64   `json:"p50_ns,omitempty"`
+	P95NS         int64   `json:"p95_ns,omitempty"`
+	MaxNS         int64   `json:"max_ns,omitempty"`
+	Throughput    float64 `json:"throughput"` // ops (or frames) per second
+	TraceTotal    int64   `json:"trace_total,omitempty"`
+	TraceDropped  int64   `json:"trace_dropped,omitempty"`
+	StreamFrames  int64   `json:"stream_frames,omitempty"`
+	StreamDropped int64   `json:"stream_dropped,omitempty"`
+}
+
+// SessionReport is the BENCH_session.json document.
+type SessionReport struct {
+	Experiment string        `json:"experiment"`
+	HostCores  int           `json:"host_cores"`
+	Quick      bool          `json:"quick"`
+	Rows       []SessionRow  `json:"rows"`
+	Registry   session.Stats `json:"registry"` // server counters after the sweep
+}
+
+// SessionExperiment boots an in-process tetrad (real HTTP, loopback
+// listener) and measures the streaming-session path end to end.
+func SessionExperiment(quick bool, reps int) (*SessionReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	lifecycleN, stepN, streamIters, concN, concIters := 64, 1000, 20000, 16, 4000
+	if quick {
+		lifecycleN, stepN, streamIters, concN, concIters = 16, 200, 4000, 8, 1500
+	}
+
+	srv := server.New(server.Options{MaxSessions: concN + 4})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	rep := &SessionReport{
+		Experiment: "session: streaming debug-session lifecycle, stepping, and trace throughput",
+		HostCores:  runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+
+	runReps := func(f func() (SessionRow, error)) (SessionRow, error) {
+		var bestRow SessionRow
+		for r := 0; r < reps; r++ {
+			row, err := f()
+			if err != nil {
+				return SessionRow{}, err
+			}
+			if bestRow.WallNS == 0 || row.WallNS < bestRow.WallNS {
+				bestRow = row
+			}
+		}
+		return bestRow, nil
+	}
+
+	row, err := runReps(func() (SessionRow, error) { return sessionLifecycle(ts.URL, lifecycleN) })
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, row)
+
+	row, err = runReps(func() (SessionRow, error) { return sessionSteps(ts.URL, stepN) })
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, row)
+
+	row, err = runReps(func() (SessionRow, error) { return sessionStream(ts.URL, streamIters) })
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, row)
+
+	row, err = runReps(func() (SessionRow, error) { return sessionConcurrent(ts.URL, concN, concIters) })
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, row)
+
+	m := srv.Metrics()
+	if m.Sessions != nil {
+		rep.Registry = *m.Sessions
+	}
+	return rep, nil
+}
+
+// sessionLifecycle opens n sessions one after another (stop_on_entry off,
+// tiny program) and times create → terminal SSE frame for each: the
+// fixed per-session overhead a debugging frontend pays.
+func sessionLifecycle(base string, n int) (SessionRow, error) {
+	lat := make([]time.Duration, 0, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		id, err := createBenchSession(base, "def main():\n    print(1 + 1)\n", false, 0)
+		if err != nil {
+			return SessionRow{}, err
+		}
+		if _, _, err := drainBenchStream(base, id); err != nil {
+			return SessionRow{}, err
+		}
+		lat = append(lat, time.Since(t0))
+		deleteBenchSession(base, id)
+	}
+	row := latencyRow("lifecycle", lat, time.Since(start))
+	row.Sessions = n
+	return row, nil
+}
+
+// sessionSteps parks one program on entry and times n step-command round
+// trips over HTTP: the interactive latency a student feels per step.
+func sessionSteps(base string, n int) (SessionRow, error) {
+	// Main must survive n statement-steps: 2 statements per iteration.
+	src := ArithLoopSource(n + 2)
+	id, err := createBenchSession(base, src, true, 0)
+	if err != nil {
+		return SessionRow{}, err
+	}
+	defer deleteBenchSession(base, id)
+	if _, err := benchCmd(base, id, server.SessionCmdRequest{Cmd: "wait", Thread: 0}); err != nil {
+		return SessionRow{}, err
+	}
+	lat := make([]time.Duration, 0, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		cr, err := benchCmd(base, id, server.SessionCmdRequest{Cmd: "step", Thread: 0})
+		if err != nil {
+			return SessionRow{}, err
+		}
+		lat = append(lat, time.Since(t0))
+		if cr.Result != "parked" {
+			return SessionRow{}, fmt.Errorf("step %d: result %q", i, cr.Result)
+		}
+	}
+	row := latencyRow("step", lat, time.Since(start))
+	row.Sessions = 1
+	return row, nil
+}
+
+// sessionStream runs one busy program to completion while a subscriber
+// drains the SSE stream, measuring trace-frame delivery through the
+// capped ring (frames per second, ring drops, stream drops).
+func sessionStream(base string, iters int) (SessionRow, error) {
+	// Park on entry, attach the stream, then release: the subscriber is
+	// live for the whole run, so frames measure delivery, not replay.
+	id, err := createBenchSession(base, ArithLoopSource(iters), true, 0)
+	if err != nil {
+		return SessionRow{}, err
+	}
+	defer deleteBenchSession(base, id)
+	resp, err := openBenchStream(base, id)
+	if err != nil {
+		return SessionRow{}, err
+	}
+	defer resp.Body.Close()
+	start := time.Now()
+	if _, err := benchCmd(base, id, server.SessionCmdRequest{Cmd: "continue_all"}); err != nil {
+		return SessionRow{}, err
+	}
+	frames, end, err := drainOpenStream(resp)
+	if err != nil {
+		return SessionRow{}, err
+	}
+	wall := time.Since(start)
+	row := SessionRow{
+		Scenario:     "stream",
+		Sessions:     1,
+		WallNS:       wall.Nanoseconds(),
+		StreamFrames: frames,
+		Throughput:   float64(frames) / wall.Seconds(),
+	}
+	if end != nil {
+		row.StreamDropped = end.StreamDropped
+	}
+	cr, err := benchCmd(base, id, server.SessionCmdRequest{Cmd: "trace"})
+	if err != nil {
+		return SessionRow{}, err
+	}
+	if cr.Trace != nil {
+		row.TraceTotal = cr.Trace.Total
+		row.TraceDropped = cr.Trace.Dropped
+	}
+	return row, nil
+}
+
+// sessionConcurrent streams n busy sessions at once: the many-students
+// load the registry cap and idle eviction exist for.
+func sessionConcurrent(base string, n, iters int) (SessionRow, error) {
+	src := ArithLoopSource(iters)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	var frames int64
+	var mu sync.Mutex
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id, err := createBenchSession(base, src, true, 0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer deleteBenchSession(base, id)
+			resp, err := openBenchStream(base, id)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if _, err := benchCmd(base, id, server.SessionCmdRequest{Cmd: "continue_all"}); err != nil {
+				errs <- err
+				return
+			}
+			fr, _, err := drainOpenStream(resp)
+			if err != nil {
+				errs <- err
+				return
+			}
+			mu.Lock()
+			frames += fr
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	select {
+	case err := <-errs:
+		return SessionRow{}, err
+	default:
+	}
+	return SessionRow{
+		Scenario:     "concurrent",
+		Sessions:     n,
+		WallNS:       wall.Nanoseconds(),
+		StreamFrames: frames,
+		Throughput:   float64(n) / wall.Seconds(),
+	}, nil
+}
+
+func latencyRow(scenario string, lat []time.Duration, wall time.Duration) SessionRow {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	row := SessionRow{
+		Scenario:   scenario,
+		Ops:        len(lat),
+		WallNS:     wall.Nanoseconds(),
+		Throughput: float64(len(lat)) / wall.Seconds(),
+	}
+	if n := len(lat); n > 0 {
+		row.P50NS = lat[n/2].Nanoseconds()
+		row.P95NS = lat[n*95/100].Nanoseconds()
+		row.MaxNS = lat[n-1].Nanoseconds()
+	}
+	return row
+}
+
+// --- HTTP plumbing ------------------------------------------------------
+
+func createBenchSession(base, src string, stopOnEntry bool, traceCap int) (string, error) {
+	req := server.SessionRequest{Source: src, File: "bench.ttr", StopOnEntry: &stopOnEntry, TraceCap: traceCap}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.Post(base+"/session", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("POST /session: status %d", resp.StatusCode)
+	}
+	var sr server.SessionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return "", err
+	}
+	return sr.ID, nil
+}
+
+func benchCmd(base, id string, req server.SessionCmdRequest) (*server.SessionCmdResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/session/"+id+"/cmd", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cmd %q: status %d", req.Cmd, resp.StatusCode)
+	}
+	var cr server.SessionCmdResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return nil, err
+	}
+	return &cr, nil
+}
+
+func deleteBenchSession(base, id string) {
+	req, err := http.NewRequest(http.MethodDelete, base+"/session/"+id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// drainBenchStream reads the session's SSE stream to the terminal frame,
+// returning the frame count and the decoded end event.
+func drainBenchStream(base, id string) (int64, *session.StreamEvent, error) {
+	resp, err := openBenchStream(base, id)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	return drainOpenStream(resp)
+}
+
+func openBenchStream(base, id string) (*http.Response, error) {
+	resp, err := http.Get(base + "/session/" + id + "/events")
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("GET events: status %d", resp.StatusCode)
+	}
+	return resp, nil
+}
+
+func drainOpenStream(resp *http.Response) (int64, *session.StreamEvent, error) {
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var frames int64
+	var event string
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(strings.TrimPrefix(line, "data: "))
+		case line == "" && event != "":
+			frames++
+			if event == session.EventEnd {
+				var end session.StreamEvent
+				if err := json.Unmarshal(data, &end); err != nil {
+					return frames, nil, err
+				}
+				return frames, &end, nil
+			}
+			event, data = "", nil
+		}
+	}
+	return frames, nil, fmt.Errorf("stream ended without a terminal frame after %d frames", frames)
+}
+
+// WriteSessionJSON writes the report for committing as BENCH_session.json.
+func WriteSessionJSON(path string, rep *SessionReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatSessionTable renders the report for the terminal.
+func FormatSessionTable(rep *SessionReport) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "  %d host cores; registry: %d created, %d evicted, %d rejected\n",
+		rep.HostCores, rep.Registry.Created, rep.Registry.Evicted, rep.Registry.Rejected)
+	fmt.Fprintf(&b, "  %-11s %-9s %-7s %12s %12s %12s %12s\n",
+		"scenario", "sessions", "ops", "thru/s", "p50", "p95", "max")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(&b, "  %-11s %-9d %-7d %12.1f %12s %12s %12s\n",
+			r.Scenario, r.Sessions, r.Ops, r.Throughput,
+			time.Duration(r.P50NS).Round(10*time.Microsecond),
+			time.Duration(r.P95NS).Round(10*time.Microsecond),
+			time.Duration(r.MaxNS).Round(10*time.Microsecond))
+		if r.StreamFrames > 0 {
+			fmt.Fprintf(&b, "  %-11s   frames=%d stream-dropped=%d trace-total=%d trace-dropped=%d\n",
+				"", r.StreamFrames, r.StreamDropped, r.TraceTotal, r.TraceDropped)
+		}
+	}
+	return b.String()
+}

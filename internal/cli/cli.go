@@ -31,6 +31,7 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	doDeadlock := fs.Bool("deadlock", false, "analyze lock contention and deadlock")
 	noDetect := fs.Bool("no-detect", false, "disable live deadlock detection")
 	timelineRows := fs.Int("timeline", 200, "maximum timeline rows (0 = unlimited)")
+	traceCap := fs.Int("trace-cap", 0, "trace event retention: keep the most recent N events (0 = default 65536, negative = unbounded)")
 	useVM := fs.Bool("vm", false, "execute on the bytecode VM instead of the AST interpreter")
 	disasm := fs.Bool("disasm", false, "print the compiled bytecode and exit")
 	timeout := fs.Duration("timeout", 0, "wall-clock limit for the run (e.g. 1s, 500ms; 0 = unlimited)")
@@ -98,7 +99,7 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	var col *trace.Collector
 	if *doTrace || *doRace || *doDeadlock {
-		col = trace.NewCollector()
+		col = trace.NewCollectorCap(*traceCap)
 		cfg.Tracer = col
 		cfg.TraceVars = *doRace
 	}
@@ -115,6 +116,10 @@ func Main(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	if col != nil {
 		events := col.Events()
+		if dropped := col.Dropped(); dropped > 0 {
+			fmt.Fprintf(stdout, "\ntrace truncated: %d oldest event(s) dropped (ring cap %d; raise with -trace-cap)\n",
+				dropped, col.Cap())
+		}
 		if *doTrace {
 			fmt.Fprintln(stdout, "\n--- execution timeline ---")
 			fmt.Fprint(stdout, trace.Timeline(events, *timelineRows))

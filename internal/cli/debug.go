@@ -112,20 +112,23 @@ func debugCommand(eng *debugger.Engine, line, src string, stdout io.Writer) bool
 			return false
 		}
 		var st debugger.ThreadState
+		var res debugger.StepResult
 		if cmd == "next" || cmd == "n" {
-			st, ok = eng.NextAndWait(id, 2*time.Second)
+			st, res = eng.NextAndWait(id, 2*time.Second)
 		} else {
-			st, ok = eng.StepAndWait(id, 2*time.Second)
+			st, res = eng.StepAndWait(id, 2*time.Second)
 		}
-		switch {
-		case !ok:
+		switch res {
+		case debugger.StepNoThread:
 			fmt.Fprintf(stdout, "no such live thread t%d\n", id)
-		case st.Finished:
+		case debugger.StepFinished:
 			fmt.Fprintf(stdout, "t%d finished\n", id)
-		case st.Paused:
+		case debugger.StepParked:
 			fmt.Fprintf(stdout, "t%d at %d:%d  %s\n", id, st.Pos.Line, st.Pos.Col, st.Stmt)
-		default:
-			fmt.Fprintf(stdout, "t%d is blocked (lock or input?)\n", id)
+		case debugger.StepTimeout:
+			// A distinct outcome, not a park with stale state: the stepped
+			// statement is still in flight.
+			fmt.Fprintf(stdout, "t%d did not stop in time (blocked on a lock or input?)\n", id)
 		}
 
 	case "continue", "c":

@@ -50,6 +50,10 @@ func serveMain(args []string, stdout, stderr io.Writer, stop <-chan struct{}) in
 	quarTTL := fs.Duration("quarantine-ttl", 0, "how long a quarantined program stays rejected (0 = default 5m)")
 	nativeThreshold := fs.Int("native-threshold", 32, "requests before a program is promoted to a gogen-compiled native binary (<=0 disables the native tier)")
 	nativeBuildDir := fs.String("native-builddir", "", "directory for promoted native artifacts (default <tmp>/tetrad-native)")
+	maxSessions := fs.Int("max-sessions", 0, "maximum live streaming debug sessions (0 = default 32)")
+	sessionIdle := fs.Duration("session-idle-timeout", 0, "evict sessions with no stream and no commands for this long (0 = default 2m)")
+	sessionMaxAge := fs.Duration("session-max-age", 0, "wall-clock ceiling of one debug session (0 = default 10m)")
+	sessionTraceCap := fs.Int("session-trace-cap", 0, "per-session trace ring retention (0 = default 65536 events)")
 	timeout := fs.Duration("timeout", 0, "ceiling: wall-clock limit per run (0 = sandbox default)")
 	maxSteps := fs.Int64("max-steps", 0, "ceiling: statement/instruction budget per run (0 = sandbox default)")
 	maxThreads := fs.Int64("max-threads", 0, "ceiling: concurrently-live threads per run (0 = sandbox default)")
@@ -97,9 +101,13 @@ func serveMain(args []string, stdout, stderr io.Writer, stop <-chan struct{}) in
 			Window:    *quarWindow,
 			TTL:       *quarTTL,
 		},
-		NativeThreshold: *nativeThreshold,
-		NativeBuildDir:  *nativeBuildDir,
-		Logf:            logger.Printf,
+		NativeThreshold:    *nativeThreshold,
+		NativeBuildDir:     *nativeBuildDir,
+		MaxSessions:        *maxSessions,
+		SessionIdleTimeout: *sessionIdle,
+		SessionMaxAge:      *sessionMaxAge,
+		SessionTraceCap:    *sessionTraceCap,
+		Logf:               logger.Printf,
 	}
 	srv := server.New(opts)
 
@@ -120,6 +128,8 @@ func serveMain(args []string, stdout, stderr io.Writer, stop <-chan struct{}) in
 	}
 	fmt.Fprintf(stdout, "tetrad: ceiling deadline=%s steps=%d threads=%d output=%dB alloc=%d cells\n",
 		ceil.Deadline, ceil.MaxSteps, ceil.MaxThreads, ceil.MaxOutputBytes, ceil.MaxAllocCells)
+	fmt.Fprintf(stdout, "tetrad: sessions max=%d idle-timeout=%s max-age=%s\n",
+		srv.Options().MaxSessions, srv.Options().SessionIdleTimeout, srv.Options().SessionMaxAge)
 
 	httpSrv := &http.Server{Handler: srv}
 	errCh := make(chan error, 1)

@@ -81,6 +81,8 @@ type Engine struct {
 	defaultMode runMode
 	done        bool
 	runErr      error
+	in          *interp.Interp // the running backend, for Kill
+	onPark      func(ThreadState)
 }
 
 // Config configures a session.
@@ -91,6 +93,12 @@ type Config struct {
 	// StopOnEntry parks every thread at its first statement (default
 	// semantics of the session; recommended).
 	StopOnEntry bool
+	// OnPark, when set, is invoked each time a thread parks in the hook,
+	// with that thread's fresh state — the event feed for streaming
+	// front-ends (internal/session). It is called with the engine lock
+	// held: implementations must not block and must not call back into
+	// the engine.
+	OnPark func(ThreadState)
 }
 
 // New prepares (but does not start) a debug session for the program.
@@ -99,6 +107,7 @@ func New(prog *ast.Program, cfg Config) *Engine {
 		prog:   prog,
 		thr:    map[int]*threadCtl{},
 		breaks: map[int]bool{},
+		onPark: cfg.OnPark,
 	}
 	e.cond = sync.NewCond(&e.mu)
 	if cfg.StopOnEntry {
@@ -139,8 +148,12 @@ func (e *Engine) Start(cfg Config) {
 	ccfg.Step = e.hook
 	ccfg.Tracer = engineTracer{e: e, inner: cfg.Core.Tracer}
 	ccfg.NoDeadlockDetection = true
+	in := core.NewInterp(e.prog, ccfg)
+	e.mu.Lock()
+	e.in = in
+	e.mu.Unlock()
 	go func() {
-		err := core.Run(e.prog, ccfg)
+		err := in.Run()
 		e.mu.Lock()
 		e.done = true
 		e.runErr = err
@@ -151,6 +164,22 @@ func (e *Engine) Start(cfg Config) {
 		e.mu.Unlock()
 		e.cond.Broadcast()
 	}()
+}
+
+// Kill aborts the session: the backend is cancelled (tripping the governor
+// when one is armed, waking lock- and input-parked threads) and every
+// parked thread is released so it observes the stop at its next statement
+// and unwinds. After Kill, Wait returns promptly with the cancellation
+// error. Used by eviction and drain in internal/session — the liveness
+// guarantee that no debug session can outlive its owner.
+func (e *Engine) Kill() {
+	e.mu.Lock()
+	in := e.in
+	e.mu.Unlock()
+	if in != nil {
+		in.Cancel()
+	}
+	e.ContinueAll()
 }
 
 // Run is New + Start in one call.
@@ -199,6 +228,9 @@ func (e *Engine) hook(threadID int, fn *ast.FuncDecl, stmt ast.Stmt, frame inter
 
 	t.state.Paused = true
 	t.pauseGen++
+	if e.onPark != nil {
+		e.onPark(t.state)
+	}
 	e.cond.Broadcast() // state changed: waiters can observe the pause
 	for t.mode == modePaused && !e.done {
 		e.cond.Wait()
@@ -233,18 +265,69 @@ func (e *Engine) Thread(id int) (ThreadState, bool) {
 	return t.state, true
 }
 
+// StepResult reports how a step-and-wait call ended.
+type StepResult int
+
+// Step-and-wait outcomes.
+const (
+	// StepNoThread: the thread id is unknown or the thread had already
+	// finished when the command was issued; no step happened.
+	StepNoThread StepResult = iota
+	// StepParked: the thread executed and parked at its next statement;
+	// the returned state is that fresh park.
+	StepParked
+	// StepFinished: the thread (or the whole program) finished during the
+	// step; the returned state is terminal.
+	StepFinished
+	// StepTimeout: the deadline expired before the thread re-parked. The
+	// stepped statement is still in flight (a contended lock, a blocking
+	// read) and the returned state is a point-in-time snapshot that may
+	// be stale by the time the caller reads it.
+	StepTimeout
+)
+
+// String names the outcome for logs and wire protocols.
+func (r StepResult) String() string {
+	switch r {
+	case StepNoThread:
+		return "no-thread"
+	case StepParked:
+		return "parked"
+	case StepFinished:
+		return "finished"
+	case StepTimeout:
+		return "timeout"
+	}
+	return fmt.Sprintf("StepResult(%d)", int(r))
+}
+
+// live returns the thread's control block when the thread exists and has
+// not finished. Must hold e.mu. This is THE finished-thread gate: Step,
+// Next, Continue, Pause, StepAndWait and NextAndWait all consult it, so
+// the contract — commands against unknown or finished threads report
+// failure and change nothing — cannot drift between entry points again.
+func (e *Engine) live(id int) (*threadCtl, bool) {
+	t, ok := e.thr[id]
+	if !ok || t.state.Finished {
+		return nil, false
+	}
+	return t, true
+}
+
 // Step lets thread id execute exactly one statement. It reports whether
-// the thread exists and was paused.
+// the thread exists and has not finished (the same contract as Next,
+// Continue and Pause; a finished thread rejects all commands).
 func (e *Engine) Step(id int) bool { return e.setMode(id, modeStep) }
 
 // Next steps over: thread id executes until the next statement at its
 // current (or a shallower) call depth, so function calls complete without
-// stopping inside them.
+// stopping inside them. Like Step, it reports false for unknown or
+// finished threads.
 func (e *Engine) Next(id int) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	t, ok := e.thr[id]
-	if !ok || t.state.Finished {
+	t, ok := e.live(id)
+	if !ok {
 		return false
 	}
 	t.nextDepth = t.depth
@@ -254,25 +337,26 @@ func (e *Engine) Next(id int) bool {
 }
 
 // NextAndWait is Next plus waiting for the re-park, mirroring StepAndWait.
-func (e *Engine) NextAndWait(id int, timeout time.Duration) (ThreadState, bool) {
+func (e *Engine) NextAndWait(id int, timeout time.Duration) (ThreadState, StepResult) {
 	return e.stepWait(id, modeNext, timeout)
 }
 
 // StepAndWait executes one statement on thread id and blocks until the
-// thread parks at its next statement (or finishes, or the timeout
-// expires). It returns the thread's new state.
-func (e *Engine) StepAndWait(id int, timeout time.Duration) (ThreadState, bool) {
+// thread parks at its next statement, finishes, or the timeout expires —
+// the StepResult says which, so a deadline expiry can never be mistaken
+// for a successful park (it used to report success with a stale state).
+func (e *Engine) StepAndWait(id int, timeout time.Duration) (ThreadState, StepResult) {
 	return e.stepWait(id, modeStep, timeout)
 }
 
 // stepWait issues a step/step-over and waits for the thread's next park.
-func (e *Engine) stepWait(id int, m runMode, timeout time.Duration) (ThreadState, bool) {
+func (e *Engine) stepWait(id int, m runMode, timeout time.Duration) (ThreadState, StepResult) {
 	deadline := time.Now().Add(timeout)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	t, ok := e.thr[id]
-	if !ok || t.state.Finished {
-		return ThreadState{}, false
+	t, ok := e.live(id)
+	if !ok {
+		return ThreadState{}, StepNoThread
 	}
 	gen := t.pauseGen
 	if m == modeNext {
@@ -282,13 +366,13 @@ func (e *Engine) stepWait(id int, m runMode, timeout time.Duration) (ThreadState
 	e.cond.Broadcast()
 	for {
 		if t.state.Finished || e.done {
-			return t.state, true
+			return t.state, StepFinished
 		}
 		if t.state.Paused && t.pauseGen > gen {
-			return t.state, true
+			return t.state, StepParked
 		}
 		if time.Now().After(deadline) {
-			return t.state, true
+			return t.state, StepTimeout
 		}
 		// The stepped statement may block forever (a contended lock, a
 		// read); the deadline keeps the UI responsive.
@@ -297,16 +381,18 @@ func (e *Engine) stepWait(id int, m runMode, timeout time.Duration) (ThreadState
 }
 
 // Continue lets thread id run freely until a breakpoint or PauseAll.
+// Reports false for unknown or finished threads.
 func (e *Engine) Continue(id int) bool { return e.setMode(id, modeRunning) }
 
-// Pause parks thread id at its next statement.
+// Pause parks thread id at its next statement. Reports false for unknown
+// or finished threads.
 func (e *Engine) Pause(id int) bool { return e.setMode(id, modePaused) }
 
 func (e *Engine) setMode(id int, m runMode) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	t, ok := e.thr[id]
-	if !ok || t.state.Finished {
+	t, ok := e.live(id)
+	if !ok {
 		return false
 	}
 	t.mode = m

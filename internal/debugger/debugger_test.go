@@ -2,7 +2,9 @@ package debugger
 
 import (
 	"bytes"
+	"io"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -66,8 +68,8 @@ func TestStepAdvancesOneStatement(t *testing.T) {
 	var out bytes.Buffer
 	eng := session(t, "def main():\n    x = 1\n    y = 2\n    print(x + y)\n", &out)
 
-	st, ok := eng.StepAndWait(0, stepTimeout)
-	if !ok || !st.Paused || st.Pos.Line != 3 {
+	st, res := eng.StepAndWait(0, stepTimeout)
+	if res != StepParked || !st.Paused || st.Pos.Line != 3 {
 		t.Fatalf("after step 1: %+v", st)
 	}
 	st, _ = eng.StepAndWait(0, stepTimeout)
@@ -188,8 +190,8 @@ def main():
 	first, second := workers[0], workers[1]
 	secondBefore, _ := eng.Thread(second)
 	for i := 0; i < 20; i++ {
-		st, ok := eng.StepAndWait(first, stepTimeout)
-		if !ok || st.Finished {
+		st, res := eng.StepAndWait(first, stepTimeout)
+		if res != StepParked || st.Finished {
 			break
 		}
 	}
@@ -224,9 +226,9 @@ def main():
 	eng := session(t, src, &out)
 	// Entry pause is at `v = inner(5)`. Next must complete the call and
 	// land on `w = v + 1`, never pausing inside inner.
-	st, ok := eng.NextAndWait(0, stepTimeout)
-	if !ok {
-		t.Fatal("NextAndWait failed")
+	st, res := eng.NextAndWait(0, stepTimeout)
+	if res != StepParked {
+		t.Fatalf("NextAndWait = %v", res)
 	}
 	if st.Func != "main" || st.Pos.Line != 7 {
 		t.Fatalf("after next: %+v (want main line 7)", st)
@@ -256,9 +258,9 @@ def main():
 `
 	eng := session(t, src, &out)
 	eng.SetBreak(3) // `return y` inside inner
-	st, ok := eng.NextAndWait(0, stepTimeout)
-	if !ok {
-		t.Fatal("NextAndWait failed")
+	st, res := eng.NextAndWait(0, stepTimeout)
+	if res != StepParked {
+		t.Fatalf("NextAndWait = %v", res)
 	}
 	if st.Func != "inner" || st.Pos.Line != 3 {
 		t.Fatalf("next skipped a breakpoint: %+v", st)
@@ -325,8 +327,8 @@ func TestFinishedThreadRejectsCommands(t *testing.T) {
 	if eng.Step(0) {
 		t.Error("Step on finished thread should report false")
 	}
-	if _, ok := eng.StepAndWait(0, time.Second); ok {
-		t.Error("StepAndWait on finished thread should report false")
+	if _, res := eng.StepAndWait(0, time.Second); res != StepNoThread {
+		t.Errorf("StepAndWait on finished thread = %v, want no-thread", res)
 	}
 	if eng.Step(42) {
 		t.Error("Step on unknown thread should report false")
@@ -352,5 +354,119 @@ func TestRenderTable(t *testing.T) {
 	if !strings.Contains(text, "t0") || !strings.Contains(text, "paused") ||
 		!strings.Contains(text, "finished") || !strings.Contains(text, "x = 1") {
 		t.Errorf("render = %q", text)
+	}
+}
+
+// blockingReader blocks every Read until unblocked, simulating a student
+// program waiting on input that never arrives.
+type blockingReader struct{ ch chan struct{} }
+
+func (b *blockingReader) Read(p []byte) (int, error) {
+	<-b.ch
+	return 0, io.EOF
+}
+
+func TestStepWaitTimeoutIsDistinct(t *testing.T) {
+	// The stepped statement blocks forever on input: StepAndWait must
+	// report StepTimeout, never StepParked with a stale state (the old API
+	// returned (state, true) on deadline expiry, indistinguishable from a
+	// successful park).
+	var out bytes.Buffer
+	src := "def main():\n    x = read_int()\n    print(x)\n"
+	prog := compile(t, src)
+	in := &blockingReader{ch: make(chan struct{})}
+	cfg := Config{StopOnEntry: true}
+	cfg.Core = core.Config{Stdin: in, Stdout: &out}
+	eng := Run(prog, cfg)
+	if !eng.WaitPaused(0, stepTimeout) {
+		t.Fatal("never paused on entry")
+	}
+	st, res := eng.StepAndWait(0, 150*time.Millisecond)
+	if res != StepTimeout {
+		t.Fatalf("StepAndWait on a blocked statement = %v (state %+v), want timeout", res, st)
+	}
+	if st.Finished {
+		t.Errorf("timeout state claims the thread finished: %+v", st)
+	}
+	close(in.ch) // unblock the read; read_int errors out and the run ends
+	eng.Wait()
+}
+
+func TestFinishedThreadContractUniform(t *testing.T) {
+	// Step, Next, Continue and Pause share one finished-thread gate: all
+	// of them must reject a finished thread and an unknown id alike.
+	var out bytes.Buffer
+	eng := session(t, "def main():\n    print(1)\n", &out)
+	eng.ContinueAll()
+	if err := eng.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for name, cmd := range map[string]func(int) bool{
+		"Step":     eng.Step,
+		"Next":     eng.Next,
+		"Continue": eng.Continue,
+		"Pause":    eng.Pause,
+	} {
+		if cmd(0) {
+			t.Errorf("%s on finished thread reported true", name)
+		}
+		if cmd(42) {
+			t.Errorf("%s on unknown thread reported true", name)
+		}
+	}
+	if _, res := eng.NextAndWait(0, time.Second); res != StepNoThread {
+		t.Errorf("NextAndWait on finished thread = %v, want no-thread", res)
+	}
+}
+
+func TestKillAbortsParkedSession(t *testing.T) {
+	// Kill must end a session whose threads are parked in the hook: the
+	// parked threads wake, observe the cancellation and unwind, so Wait
+	// returns promptly — the liveness property eviction and drain rely on.
+	var out bytes.Buffer
+	eng := session(t, "def main():\n    x = 1\n    print(x)\n", &out)
+	done := make(chan error, 1)
+	go func() { done <- eng.Wait() }()
+	eng.Kill()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "cancelled") {
+			t.Errorf("Wait after Kill = %v, want cancellation", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait hung after Kill: parked threads never released")
+	}
+	if out.Len() != 0 {
+		t.Errorf("killed session still produced output %q", out.String())
+	}
+}
+
+func TestOnParkHookObservesPauses(t *testing.T) {
+	var out bytes.Buffer
+	var mu sync.Mutex
+	var parks []ThreadState
+	prog := compile(t, "def main():\n    x = 1\n    y = 2\n    print(x + y)\n")
+	cfg := Config{StopOnEntry: true, OnPark: func(st ThreadState) {
+		mu.Lock()
+		parks = append(parks, st)
+		mu.Unlock()
+	}}
+	cfg.Core = core.Config{Stdout: &out}
+	eng := Run(prog, cfg)
+	if !eng.WaitPaused(0, stepTimeout) {
+		t.Fatal("never paused on entry")
+	}
+	eng.StepAndWait(0, stepTimeout)
+	eng.ContinueAll()
+	eng.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(parks) < 2 {
+		t.Fatalf("OnPark fired %d times, want >= 2 (entry + one step)", len(parks))
+	}
+	for _, st := range parks {
+		if !st.Paused {
+			t.Errorf("OnPark delivered a non-paused state: %+v", st)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/promote"
+	"repro/internal/session"
 	"repro/internal/worker"
 )
 
@@ -102,10 +103,11 @@ type metrics struct {
 	nativeDemotions atomic.Int64 // artifact crashes that demoted a program
 	nativeSkips     atomic.Int64 // native tier skipped (artifact quarantined)
 
-	latInterp   histogram
-	latVM       histogram
-	latNative   histogram // native-artifact runs (wall clock of the process)
-	latOverhead histogram // supervised round-trip minus worker-reported work
+	latInterp    histogram
+	latVM        histogram
+	latNative    histogram // native-artifact runs (wall clock of the process)
+	latOverhead  histogram // supervised round-trip minus worker-reported work
+	latStreamLag histogram // session SSE delivery lag: publish → socket write
 
 	crashMu sync.Mutex
 	crashes []CrashRecord // ring, newest last, at most crashRingSize
@@ -172,6 +174,10 @@ type MetricsSnapshot struct {
 	// Promote reports the promotion state machine (nil when the native
 	// tier is off).
 	Promote *promote.Stats `json:"promote,omitempty"`
+	// Sessions reports the streaming-session registry: active gauge,
+	// created/evicted/rejected counters (the "stream_lag" latency entry
+	// is the SSE delivery-lag histogram).
+	Sessions *session.Stats `json:"sessions,omitempty"`
 	// Worker reports the supervisor counters (nil with isolation off).
 	Worker *worker.Stats `json:"worker,omitempty"`
 	// WorkerCrashes is the forensics ring: the most recent worker

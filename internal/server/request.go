@@ -41,6 +41,11 @@ type RunRequest struct {
 	// Race additionally records shared-variable accesses and runs the
 	// lockset race detector (interp backend only; slower).
 	Race bool `json:"race,omitempty"`
+	// TraceCap tightens the trace ring's retention bound for this run
+	// (0 = server default). The collector keeps the most recent TraceCap
+	// events; an overflowing run reports trace.truncated/dropped instead
+	// of growing server memory without bound.
+	TraceCap int `json:"trace_cap,omitempty"`
 }
 
 // LimitSpec is the wire form of guard.Limits. Zero or omitted fields
@@ -100,13 +105,17 @@ type RunError struct {
 	Pos     string `json:"pos,omitempty"`
 }
 
-// TraceSummary aggregates the event stream of one traced run.
+// TraceSummary aggregates the event stream of one traced run. When the
+// run emitted more events than the trace ring retains, Truncated is true
+// and Dropped counts the discarded prefix: the summary covers the tail.
 type TraceSummary struct {
-	Threads      int `json:"threads"`
-	Steps        int `json:"steps"`
-	LockAcquires int `json:"lock_acquires"`
-	LockWaits    int `json:"lock_waits"`
-	Outputs      int `json:"outputs"`
+	Threads      int   `json:"threads"`
+	Steps        int   `json:"steps"`
+	LockAcquires int   `json:"lock_acquires"`
+	LockWaits    int   `json:"lock_waits"`
+	Outputs      int   `json:"outputs"`
+	Truncated    bool  `json:"truncated,omitempty"`
+	Dropped      int64 `json:"dropped,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-200 answer (bad request,
@@ -175,6 +184,9 @@ func (r *RunRequest) Validate() error {
 	}
 	if (r.Trace || r.Race) && r.Backend != BackendInterp {
 		return fmt.Errorf("trace and race require the %q backend", BackendInterp)
+	}
+	if r.TraceCap < 0 {
+		return fmt.Errorf("trace_cap must be >= 0, got %d", r.TraceCap)
 	}
 	if l := r.Limits; l != nil {
 		for _, f := range []struct {

@@ -50,6 +50,7 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/guard"
 	"repro/internal/promote"
+	"repro/internal/session"
 	"repro/internal/worker"
 )
 
@@ -143,6 +145,20 @@ type Options struct {
 	// be promoted again (default 30s).
 	NativeRebuildBackoff time.Duration
 
+	// MaxSessions caps live streaming debug sessions server-wide (POST
+	// /session answers 429 beyond it). Default 32.
+	MaxSessions int
+	// SessionIdleTimeout evicts sessions with no stream subscriber and no
+	// command activity for this long. Default 2m.
+	SessionIdleTimeout time.Duration
+	// SessionMaxAge replaces the batch deadline on the session path: an
+	// interactive session may live this long before the governor ends it.
+	// Default 10m.
+	SessionMaxAge time.Duration
+	// SessionTraceCap is the default trace-ring bound per session (0
+	// selects trace.DefaultCap); individual sessions may tighten it.
+	SessionTraceCap int
+
 	// Faults arms the server-side injection points (fault.HandlerPanic,
 	// fault.NativeKill) for the chaos suites. Nil means no injection.
 	Faults *fault.Injector
@@ -173,6 +189,15 @@ func (o Options) withDefaults() Options {
 	if o.Isolation == "" {
 		o.Isolation = IsolationOff
 	}
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 32
+	}
+	if o.SessionIdleTimeout <= 0 {
+		o.SessionIdleTimeout = 2 * time.Minute
+	}
+	if o.SessionMaxAge <= 0 {
+		o.SessionMaxAge = 10 * time.Minute
+	}
 	if o.PoolSize <= 0 {
 		o.PoolSize = o.MaxInFlight
 	}
@@ -194,6 +219,7 @@ type Server struct {
 	pool     *worker.Pool         // nil when isolation is off
 	promoter *promote.Manager     // nil when the native tier is off
 	native   *worker.NativeRunner // nil when the native tier is off
+	sessions *session.Registry
 	sem      chan struct{}
 
 	notReady  atomic.Bool // readiness flipped (drain announced)
@@ -221,6 +247,12 @@ func New(opts Options) *Server {
 		drainCh: make(chan struct{}),
 		running: make(map[uint64]worker.Canceler),
 	}
+	s.sessions = session.NewRegistry(session.Options{
+		MaxSessions: opts.MaxSessions,
+		IdleTimeout: opts.SessionIdleTimeout,
+		TraceCap:    opts.SessionTraceCap,
+		Logf:        opts.Logf,
+	})
 	if opts.Isolation == IsolationPool {
 		s.pool = worker.NewPool(worker.Options{
 			Cmd:        opts.WorkerCmd,
@@ -269,6 +301,13 @@ func New(opts Options) *Server {
 // Ceiling returns the effective server-wide limit ceiling.
 func (s *Server) Ceiling() guard.Limits { return s.opts.Ceiling }
 
+// Options returns the effective (defaulted) server options.
+func (s *Server) Options() Options { return s.opts }
+
+// Sessions exposes the streaming-session registry (for tests and
+// benchmarks).
+func (s *Server) Sessions() *session.Registry { return s.sessions }
+
 // Cache exposes the in-process compile cache (for tests and benchmarks).
 func (s *Server) Cache() *core.CompileCache { return s.cache }
 
@@ -301,6 +340,14 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 	return sw.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so SSE streams (the session
+// event endpoint) can push frames through the middleware wrapper.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // ServeHTTP routes the endpoints behind the panic-recovery middleware:
 // a panic anywhere in request handling answers with a well-formed 500
 // JSON body (when the response has not started) instead of tearing down
@@ -320,6 +367,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/run":
 		s.handleRun(sw, r)
+	case "/session":
+		s.handleSessionCreate(sw, r)
 	case "/metrics":
 		s.handleMetrics(sw, r)
 	case "/healthz", "/healthz/ready":
@@ -327,6 +376,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case "/healthz/live":
 		s.handleLive(sw, r)
 	default:
+		if strings.HasPrefix(r.URL.Path, "/session/") {
+			s.handleSessionSub(sw, r)
+			return
+		}
 		writeError(sw, http.StatusNotFound, fmt.Sprintf("no such endpoint %q", r.URL.Path))
 	}
 }
@@ -468,6 +521,7 @@ func (s *Server) execute(req *RunRequest, hash, reqID string) (resp *RunResponse
 		Opt:       req.optLevel(),
 		Trace:     req.Trace,
 		Race:      req.Race,
+		TraceCap:  req.TraceCap,
 		Limits:    eff,
 	}
 
@@ -689,6 +743,8 @@ func (s *Server) toRunResponse(wresp *worker.Response, req *RunRequest, tier str
 			LockAcquires: wresp.Trace.LockAcquires,
 			LockWaits:    wresp.Trace.LockWaits,
 			Outputs:      wresp.Trace.Outputs,
+			Truncated:    wresp.Trace.Truncated,
+			Dropped:      wresp.Trace.Dropped,
 		}
 	}
 	if req.Race && wresp.ErrStage != "compile" {
@@ -775,6 +831,9 @@ func (s *Server) Metrics() MetricsSnapshot {
 		},
 		WorkerCrashes: s.met.crashRecords(),
 	}
+	ss := s.sessions.Snapshot()
+	snap.Sessions = &ss
+	snap.Latency["stream_lag"] = s.met.latStreamLag.snapshot()
 	if s.pool != nil {
 		ps := s.pool.Stats()
 		snap.Worker = &ps
@@ -816,8 +875,14 @@ func (s *Server) Drain(stop <-chan struct{}) error {
 		}
 		s.draining.Store(true)
 		close(s.drainCh)
+		// Readiness flipped above, before any eviction: routers have
+		// stopped sending new sessions by the time streams start closing.
+		// Every live session gets a terminal "drain" frame and its
+		// goroutines are joined (bounded by the guard grace).
+		s.sessions.CloseAll(session.ReasonDrain)
 	})
 	defer func() {
+		s.sessions.Close()
 		if s.pool != nil {
 			s.pool.Close()
 		}

@@ -1,0 +1,585 @@
+// Package session implements streaming debug sessions for tetrad: the
+// paper's IDE (§III) as a web protocol. A session runs one Tetra program
+// on the tree-walking interpreter under the debugger engine
+// (internal/debugger), streams stdout, live trace events and thread-state
+// changes to any number of SSE subscribers, accepts per-thread
+// breakpoint/step/continue commands and streamed stdin, and answers
+// on-demand race/deadlock analyses over the bounded trace ring.
+//
+// The liveness discipline (after "Fencing off Go", Lange et al.): no
+// session goroutine may outlive its session, and no session may outlive
+// its owner's interest. Each session owns exactly two goroutines — the
+// debugger's run goroutine and the trace pump — and both provably end
+// when the session is killed: Kill cancels the backend (waking lock- and
+// input-parked threads), closes the stdin buffer (waking blocked reads)
+// and releases parked debugger threads; the watcher then closes every
+// subscriber with a terminal event. The registry (registry.go) bounds how
+// many sessions exist, evicts idle ones, and integrates with tetrad's
+// drain.
+package session
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/deadlock"
+	"repro/internal/debugger"
+	"repro/internal/guard"
+	"repro/internal/racedetect"
+	"repro/internal/trace"
+)
+
+// Stream event types, the `type` field of every StreamEvent.
+const (
+	EventHello  = "hello"  // first frame: session snapshot
+	EventStdout = "stdout" // a chunk of program output
+	EventState  = "state"  // a thread parked (breakpoint, step, pause)
+	EventTrace  = "trace"  // one live trace event
+	EventEnd    = "end"    // terminal: the session is over, stream closes
+)
+
+// End reasons carried by the terminal event.
+const (
+	ReasonFinished = "finished" // the program ran to completion
+	ReasonError    = "error"    // the program died with a runtime error
+	ReasonClosed   = "closed"   // the client closed the session
+	ReasonIdle     = "idle"     // idle-timeout eviction
+	ReasonDrain    = "drain"    // the server is draining
+)
+
+// ThreadInfo is the wire form of one debugger thread's state.
+type ThreadInfo struct {
+	ID       int    `json:"id"`
+	Func     string `json:"func,omitempty"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Stmt     string `json:"stmt,omitempty"`
+	Paused   bool   `json:"paused"`
+	Finished bool   `json:"finished"`
+}
+
+// Info converts a debugger thread state to its wire form.
+func Info(st debugger.ThreadState) ThreadInfo { return threadInfo(st) }
+
+func threadInfo(st debugger.ThreadState) ThreadInfo {
+	return ThreadInfo{
+		ID:       st.ID,
+		Func:     st.Func,
+		Line:     st.Pos.Line,
+		Col:      st.Pos.Col,
+		Stmt:     st.Stmt,
+		Paused:   st.Paused,
+		Finished: st.Finished,
+	}
+}
+
+// TraceEventInfo is the wire form of one trace event.
+type TraceEventInfo struct {
+	Seq    int64  `json:"seq"`
+	Thread int    `json:"thread"`
+	Kind   string `json:"kind"`
+	Name   string `json:"name,omitempty"`
+	Line   int    `json:"line,omitempty"`
+	Col    int    `json:"col,omitempty"`
+	Nanos  int64  `json:"nanos"`
+}
+
+// StreamEvent is one frame of a session's event stream.
+type StreamEvent struct {
+	Type   string          `json:"type"`
+	Text   string          `json:"text,omitempty"`   // stdout chunk
+	Thread *ThreadInfo     `json:"thread,omitempty"` // state frames
+	Trace  *TraceEventInfo `json:"trace,omitempty"`  // trace frames
+	// Terminal-frame fields.
+	Reason string `json:"reason,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// TraceDropped counts events the bounded trace ring discarded over
+	// the whole run; StreamDropped counts frames THIS subscriber missed
+	// because it read too slowly.
+	TraceDropped  int64 `json:"trace_dropped,omitempty"`
+	StreamDropped int64 `json:"stream_dropped,omitempty"`
+}
+
+// Item is one queued frame with its enqueue time, so the deliverer can
+// observe stream lag.
+type Item struct {
+	Ev StreamEvent
+	At time.Time
+}
+
+// Subscriber is one live consumer of a session's stream. Frames arrive
+// on Ch in publish order; the channel closes when the session ends (read
+// End for the guaranteed terminal frame) or the subscriber is removed.
+type Subscriber struct {
+	ch      chan Item
+	end     atomic.Pointer[StreamEvent]
+	dropped atomic.Int64
+	closed  bool // guarded by the session's mu
+}
+
+// Ch returns the frame channel.
+func (sub *Subscriber) Ch() <-chan Item { return sub.ch }
+
+// End returns the terminal frame once the channel has closed because the
+// session ended (nil after a plain Unsubscribe).
+func (sub *Subscriber) End() *StreamEvent { return sub.end.Load() }
+
+// Dropped counts frames this subscriber missed (buffer full).
+func (sub *Subscriber) Dropped() int64 { return sub.dropped.Load() }
+
+// Config describes one session to create.
+type Config struct {
+	Prog *ast.Program // compiled program (required)
+	File string       // display name for positions
+	// Stdin is the initial input; more can be streamed with WriteStdin.
+	Stdin string
+	// Limits is the (already clamped) resource budget. The deadline axis
+	// bounds the whole session's wall clock.
+	Limits guard.Limits
+	// StopOnEntry parks every thread at its first statement (the
+	// recommended default for stepping sessions).
+	StopOnEntry bool
+	// Breakpoints are source lines to arm before the program starts.
+	Breakpoints []int
+	// TraceCap bounds the live trace ring (0 = the registry default).
+	TraceCap int
+	// StreamBuffer is the per-subscriber frame buffer (0 = default 256).
+	StreamBuffer int
+}
+
+// Session is one live (or finished but not yet evicted) debug session.
+type Session struct {
+	ID      string
+	File    string
+	Created time.Time
+
+	eng      *debugger.Engine
+	col      *trace.Collector
+	traceSub *trace.Sub // armed before the program starts; pumped by run
+	in       *stdinBuf
+
+	lastTouch atomic.Int64 // unix nanos of the last client interaction
+	streamBuf int
+
+	mu       sync.Mutex
+	subs     map[*Subscriber]struct{}
+	out      bytes.Buffer // full accumulated stdout
+	done     bool
+	endEvent *StreamEvent
+	runErr   error
+
+	killOnce sync.Once
+	reason   atomic.Pointer[string] // eviction reason, set before Kill
+	ended    chan struct{}          // closed once the terminal event is published
+}
+
+// newSession builds and starts a session (registry.Create is the public
+// entry point).
+func newSession(id string, cfg Config, traceCap int) *Session {
+	if cfg.TraceCap != 0 {
+		traceCap = cfg.TraceCap
+	}
+	sb := cfg.StreamBuffer
+	if sb <= 0 {
+		sb = 256
+	}
+	s := &Session{
+		ID:        id,
+		File:      cfg.File,
+		Created:   time.Now(),
+		col:       trace.NewCollectorCap(traceCap),
+		in:        newStdinBuf(cfg.Stdin),
+		streamBuf: sb,
+		subs:      map[*Subscriber]struct{}{},
+		ended:     make(chan struct{}),
+	}
+	s.Touch()
+
+	dcfg := debugger.Config{
+		StopOnEntry: cfg.StopOnEntry,
+		OnPark: func(st debugger.ThreadState) {
+			// Called with the engine lock held: publish is lock-cheap and
+			// never calls back into the engine.
+			ti := threadInfo(st)
+			s.publish(StreamEvent{Type: EventState, Thread: &ti})
+		},
+	}
+	dcfg.Core = core.Config{
+		Stdin:  s.in,
+		Stdout: outWriter{s},
+		Tracer: s.col,
+		// Always record variable accesses: on-demand race analysis is a
+		// headline session feature and must not require re-running.
+		TraceVars: true,
+		Limits:    cfg.Limits,
+	}
+	s.eng = debugger.New(cfg.Prog, dcfg)
+	for _, l := range cfg.Breakpoints {
+		s.eng.SetBreak(l)
+	}
+	// Arm the trace subscription before the first statement runs so the
+	// stream never misses the head of the trace.
+	s.traceSub = s.col.Subscribe(1024)
+	s.eng.Start(dcfg)
+	return s
+}
+
+// run pumps the trace subscription into the stream, waits for the program
+// to end, and publishes the terminal event. It is the session's watcher
+// goroutine body; the registry tracks it so drain can join it.
+func (s *Session) run() {
+	pumpDone := make(chan struct{})
+	go func() {
+		defer close(pumpDone)
+		for e := range s.traceSub.C {
+			te := traceEventInfo(e)
+			s.publish(StreamEvent{Type: EventTrace, Trace: &te})
+		}
+	}()
+
+	err := s.eng.Wait()
+	s.in.Close()      // no thread is left to read; wake any stdin writer logic
+	s.col.CloseSubs() // ends the pump; buffered events still flow out first
+	<-pumpDone        // trace frames all published: the terminal frame is last
+
+	reason := ReasonFinished
+	msg := ""
+	if r := s.reason.Load(); r != nil {
+		reason = *r
+		if err != nil {
+			msg = err.Error()
+		}
+	} else if err != nil {
+		reason = ReasonError
+		msg = err.Error()
+	}
+	end := StreamEvent{
+		Type:         EventEnd,
+		Reason:       reason,
+		Error:        msg,
+		TraceDropped: s.col.Dropped(),
+	}
+
+	s.mu.Lock()
+	s.done = true
+	s.runErr = err
+	s.endEvent = &end
+	subs := make([]*Subscriber, 0, len(s.subs))
+	for sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.subs = map[*Subscriber]struct{}{}
+	for _, sub := range subs {
+		if !sub.closed {
+			e := end
+			e.StreamDropped = sub.dropped.Load()
+			sub.end.Store(&e)
+			sub.closed = true
+			close(sub.ch)
+		}
+	}
+	s.mu.Unlock()
+	close(s.ended)
+}
+
+func traceEventInfo(e trace.Event) TraceEventInfo {
+	return TraceEventInfo{
+		Seq:    e.Seq,
+		Thread: e.Thread,
+		Kind:   e.Kind.String(),
+		Name:   e.Name,
+		Line:   e.Pos.Line,
+		Col:    e.Pos.Col,
+		Nanos:  e.Nanos,
+	}
+}
+
+// kill aborts the session once: records the reason, closes stdin (waking
+// blocked reads), cancels the backend and releases parked threads. The
+// watcher observes the run ending and publishes the terminal event.
+func (s *Session) kill(reason string) {
+	s.killOnce.Do(func() {
+		r := reason
+		s.reason.Store(&r)
+		s.in.Close()
+		s.eng.Kill()
+	})
+}
+
+// Close ends the session on behalf of the client.
+func (s *Session) Close() { s.kill(ReasonClosed) }
+
+// Ended returns a channel closed once the terminal event has been
+// published (the session's goroutines are then gone).
+func (s *Session) Ended() <-chan struct{} { return s.ended }
+
+// publish fans a frame out to every subscriber, dropping (and counting)
+// for any whose buffer is full — a slow stream must never stall the
+// traced program.
+func (s *Session) publish(ev StreamEvent) {
+	it := Item{Ev: ev, At: time.Now()}
+	s.mu.Lock()
+	for sub := range s.subs {
+		if sub.closed {
+			continue
+		}
+		select {
+		case sub.ch <- it:
+		default:
+			sub.dropped.Add(1)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Subscribe attaches a stream consumer. On an already-ended session the
+// channel is closed immediately with the terminal frame in End.
+func (s *Session) Subscribe() *Subscriber {
+	s.Touch()
+	sub := &Subscriber{ch: make(chan Item, s.streamBuf)}
+	s.mu.Lock()
+	if s.done {
+		e := *s.endEvent
+		sub.end.Store(&e)
+		sub.closed = true
+		close(sub.ch)
+	} else {
+		s.subs[sub] = struct{}{}
+	}
+	s.mu.Unlock()
+	return sub
+}
+
+// Unsubscribe detaches a consumer (idempotent; safe after the session
+// ended).
+func (s *Session) Unsubscribe(sub *Subscriber) {
+	s.Touch()
+	s.mu.Lock()
+	if _, ok := s.subs[sub]; ok {
+		delete(s.subs, sub)
+		if !sub.closed {
+			sub.closed = true
+			close(sub.ch)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Subscribers returns the number of attached stream consumers.
+func (s *Session) Subscribers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
+}
+
+// Touch marks client activity, deferring idle eviction.
+func (s *Session) Touch() { s.lastTouch.Store(time.Now().UnixNano()) }
+
+// IdleFor reports how long the session has been without client activity.
+func (s *Session) IdleFor() time.Duration {
+	return time.Since(time.Unix(0, s.lastTouch.Load()))
+}
+
+// Done reports whether the program has ended (the session may still be
+// queryable until evicted).
+func (s *Session) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.done
+}
+
+// Err returns the program's final error once done (nil = clean run).
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runErr
+}
+
+// Output returns everything the program has printed so far.
+func (s *Session) Output() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.out.String()
+}
+
+// --- debugger command surface (every call counts as client activity) ---
+
+// Threads snapshots the thread table.
+func (s *Session) Threads() []debugger.ThreadState { s.Touch(); return s.eng.Threads() }
+
+// Thread returns one thread's state.
+func (s *Session) Thread(id int) (debugger.ThreadState, bool) { s.Touch(); return s.eng.Thread(id) }
+
+// Step executes one statement on the thread and waits for its re-park.
+func (s *Session) Step(id int, timeout time.Duration) (debugger.ThreadState, debugger.StepResult) {
+	s.Touch()
+	return s.eng.StepAndWait(id, timeout)
+}
+
+// Next steps over a call on the thread and waits for its re-park.
+func (s *Session) Next(id int, timeout time.Duration) (debugger.ThreadState, debugger.StepResult) {
+	s.Touch()
+	return s.eng.NextAndWait(id, timeout)
+}
+
+// Continue resumes one thread.
+func (s *Session) Continue(id int) bool { s.Touch(); return s.eng.Continue(id) }
+
+// Pause parks one thread at its next statement.
+func (s *Session) Pause(id int) bool { s.Touch(); return s.eng.Pause(id) }
+
+// ContinueAll resumes every thread.
+func (s *Session) ContinueAll() { s.Touch(); s.eng.ContinueAll() }
+
+// PauseAll parks every thread.
+func (s *Session) PauseAll() { s.Touch(); s.eng.PauseAll() }
+
+// WaitPaused blocks until the thread parks (or timeout).
+func (s *Session) WaitPaused(id int, timeout time.Duration) bool {
+	s.Touch()
+	return s.eng.WaitPaused(id, timeout)
+}
+
+// WaitAnyPaused blocks until n threads are parked (or timeout).
+func (s *Session) WaitAnyPaused(n int, timeout time.Duration) int {
+	s.Touch()
+	return s.eng.WaitAnyPaused(n, timeout)
+}
+
+// SetBreak arms a breakpoint on a source line.
+func (s *Session) SetBreak(line int) { s.Touch(); s.eng.SetBreak(line) }
+
+// ClearBreak removes a breakpoint.
+func (s *Session) ClearBreak(line int) { s.Touch(); s.eng.ClearBreak(line) }
+
+// Breakpoints lists the armed breakpoint lines.
+func (s *Session) Breakpoints() []int { s.Touch(); return s.eng.Breakpoints() }
+
+// Vars returns the thread's frame variables as name → rendered value.
+func (s *Session) Vars(id int) (map[string]string, bool) {
+	s.Touch()
+	names, vals, ok := s.eng.Vars(id)
+	if !ok {
+		return nil, false
+	}
+	out := make(map[string]string, len(names))
+	for i, n := range names {
+		out[n] = vals[i].String()
+	}
+	return out, true
+}
+
+// WriteStdin appends input for the program's readers.
+func (s *Session) WriteStdin(data string) error {
+	s.Touch()
+	return s.in.WriteString(data)
+}
+
+// CloseStdin signals end-of-input to the program.
+func (s *Session) CloseStdin() { s.Touch(); s.in.Close() }
+
+// Races runs the lockset race detector over the retained trace window.
+func (s *Session) Races() []string {
+	s.Touch()
+	rep := racedetect.Analyze(s.col.Events())
+	out := make([]string, 0, len(rep.Races))
+	for _, rc := range rep.Races {
+		out = append(out, rc.String())
+	}
+	return out
+}
+
+// DeadlockReport runs the wait-for-graph analysis over the retained
+// trace window: the cycle rendered as text (empty = none) plus per-lock
+// contention counts.
+func (s *Session) DeadlockReport() (cycle string, contention map[string]int) {
+	s.Touch()
+	rep := deadlock.Analyze(s.col.Events())
+	if rep.Deadlocked != nil {
+		cycle = rep.Deadlocked.String()
+	}
+	return cycle, rep.Contention
+}
+
+// TraceStats reports the ring's accounting.
+type TraceStats struct {
+	Total    int64 `json:"total"`    // events recorded over the run
+	Retained int   `json:"retained"` // events currently in the ring
+	Dropped  int64 `json:"dropped"`  // events the ring discarded
+	Cap      int   `json:"cap"`
+}
+
+// Trace returns the ring accounting.
+func (s *Session) Trace() TraceStats {
+	return TraceStats{
+		Total:    s.col.Total(),
+		Retained: s.col.Len(),
+		Dropped:  s.col.Dropped(),
+		Cap:      s.col.Cap(),
+	}
+}
+
+// outWriter streams program output: every write lands in the session's
+// transcript and fans out to subscribers as a stdout frame.
+type outWriter struct{ s *Session }
+
+func (w outWriter) Write(p []byte) (int, error) {
+	w.s.mu.Lock()
+	w.s.out.Write(p)
+	w.s.mu.Unlock()
+	w.s.publish(StreamEvent{Type: EventStdout, Text: string(p)})
+	return len(p), nil
+}
+
+// stdinBuf is the streamed-stdin pipe: Write appends (never blocks),
+// Read blocks until data or close. Closing wakes blocked readers with
+// EOF — how eviction unwedges a thread stuck in read_int.
+type stdinBuf struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    bytes.Buffer
+	closed bool
+}
+
+func newStdinBuf(initial string) *stdinBuf {
+	b := &stdinBuf{}
+	b.cond = sync.NewCond(&b.mu)
+	b.buf.WriteString(initial)
+	return b
+}
+
+func (b *stdinBuf) Read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.buf.Len() == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if b.buf.Len() > 0 {
+		return b.buf.Read(p)
+	}
+	return 0, io.EOF
+}
+
+func (b *stdinBuf) WriteString(s string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("session stdin is closed")
+	}
+	b.buf.WriteString(s)
+	b.cond.Broadcast()
+	return nil
+}
+
+func (b *stdinBuf) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/token"
@@ -97,20 +98,46 @@ type Tracer interface {
 	Emit(Event)
 }
 
-// Collector is a Tracer that buffers every event in memory.
+// DefaultCap is the default retention bound of a Collector: the ring keeps
+// the most recent DefaultCap events and counts the rest as dropped. Sized
+// so every classroom-scale trace fits whole while a runaway loop cannot
+// exhaust server memory (the bug this bound fixes: the collector used to
+// append without limit for the lifetime of the run).
+const DefaultCap = 1 << 16
+
+// Collector is a Tracer that buffers events in a bounded ring: the most
+// recent cap events are retained, older ones are dropped (and counted).
+// Live consumers can additionally Subscribe to the event stream.
 type Collector struct {
-	mu     sync.Mutex
-	events []Event
-	seq    int64
-	start  time.Time
+	mu      sync.Mutex
+	events  []Event // ring storage, len(events) <= cap
+	head    int     // index of the oldest retained event once the ring wrapped
+	wrapped bool    // the ring has overwritten at least one event
+	cap     int     // retention bound; < 0 means unbounded
+	dropped int64
+	seq     int64
+	start   time.Time
+	subs    []*Sub
 	// Filter, when non-zero, drops event kinds whose bit is unset. Zero
 	// means "record everything".
 	Filter uint64
 }
 
-// NewCollector returns an empty collector recording all event kinds.
+// NewCollector returns an empty collector recording all event kinds,
+// retaining at most DefaultCap events.
 func NewCollector() *Collector {
-	return &Collector{start: time.Now()}
+	return NewCollectorCap(0)
+}
+
+// NewCollectorCap returns a collector retaining at most capacity events
+// (the most recent ones win). capacity 0 selects DefaultCap; a negative
+// capacity disables the bound entirely — an explicit escape hatch for
+// short trusted runs, never the serving path.
+func NewCollectorCap(capacity int) *Collector {
+	if capacity == 0 {
+		capacity = DefaultCap
+	}
+	return &Collector{start: time.Now(), cap: capacity}
 }
 
 // NewCollectorFor returns a collector recording only the given kinds.
@@ -123,6 +150,8 @@ func NewCollectorFor(kinds ...Kind) *Collector {
 }
 
 // Emit records the event, assigning its sequence number and timestamp.
+// When the ring is full the oldest retained event is overwritten and the
+// dropped count grows; live subscribers receive the event regardless.
 func (c *Collector) Emit(e Event) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -132,23 +161,133 @@ func (c *Collector) Emit(e Event) {
 	c.seq++
 	e.Seq = c.seq
 	e.Nanos = time.Since(c.start).Nanoseconds()
-	c.events = append(c.events, e)
+	if c.cap < 0 || len(c.events) < c.cap {
+		c.events = append(c.events, e)
+	} else {
+		c.events[c.head] = e
+		c.head = (c.head + 1) % c.cap
+		c.wrapped = true
+		c.dropped++
+	}
+	for _, s := range c.subs {
+		s.deliver(e)
+	}
 }
 
-// Events returns a snapshot copy of the recorded events in order.
+// Events returns a snapshot copy of the retained events in order (oldest
+// retained first). When Truncated reports true the prefix of the run is
+// missing: Dropped events preceded Events()[0].
 func (c *Collector) Events() []Event {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]Event, len(c.events))
-	copy(out, c.events)
+	n := copy(out, c.events[c.head:])
+	copy(out[n:], c.events[:c.head])
 	return out
 }
 
-// Len returns the number of recorded events.
+// Len returns the number of retained events.
 func (c *Collector) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.events)
+}
+
+// Total returns the number of events recorded over the collector's
+// lifetime, including dropped ones.
+func (c *Collector) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seq
+}
+
+// Dropped returns how many events the ring has discarded.
+func (c *Collector) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Truncated reports whether the ring has discarded any events: Events()
+// is then the tail of the run, not the whole run.
+func (c *Collector) Truncated() bool { return c.Dropped() > 0 }
+
+// Cap returns the retention bound (negative = unbounded).
+func (c *Collector) Cap() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cap
+}
+
+// StartTime returns when collection began; an Event's absolute time is
+// StartTime().Add(Event.Nanos).
+func (c *Collector) StartTime() time.Time { return c.start }
+
+// Sub is one live subscription to a collector's event stream. Events
+// arrive on C in emit order; a subscriber that falls behind its buffer
+// loses events (counted by Dropped) rather than stalling the traced
+// program. C is closed by Unsubscribe or CloseSubs.
+type Sub struct {
+	C       chan Event
+	dropped atomic.Int64
+	closed  bool // guarded by the owning collector's mu
+}
+
+func (s *Sub) deliver(e Event) {
+	select {
+	case s.C <- e:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// Dropped returns how many events this subscriber missed because its
+// buffer was full.
+func (s *Sub) Dropped() int64 { return s.dropped.Load() }
+
+// Subscribe registers a live consumer of the event stream with the given
+// channel buffer (<= 0 selects 256). Only events emitted after Subscribe
+// are delivered; use Events for the retained history.
+func (c *Collector) Subscribe(buf int) *Sub {
+	if buf <= 0 {
+		buf = 256
+	}
+	s := &Sub{C: make(chan Event, buf)}
+	c.mu.Lock()
+	c.subs = append(c.subs, s)
+	c.mu.Unlock()
+	return s
+}
+
+// Unsubscribe removes the subscription and closes its channel. Safe to
+// call more than once and after CloseSubs.
+func (c *Collector) Unsubscribe(s *Sub) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, cur := range c.subs {
+		if cur == s {
+			c.subs = append(c.subs[:i], c.subs[i+1:]...)
+			break
+		}
+	}
+	if !s.closed {
+		s.closed = true
+		close(s.C)
+	}
+}
+
+// CloseSubs closes every subscription channel, signalling end of stream.
+// The collector remains usable for Events/Summarize.
+func (c *Collector) CloseSubs() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.subs {
+		if !s.closed {
+			s.closed = true
+			close(s.C)
+		}
+	}
+	c.subs = nil
 }
 
 // Threads returns the sorted set of thread ids appearing in the events.

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/token"
 )
@@ -157,5 +158,136 @@ func TestEventString(t *testing.T) {
 	}
 	if Kind(99).String() != "Kind(99)" {
 		t.Error("unknown kind formatting")
+	}
+}
+
+func TestRingCapBoundsRetention(t *testing.T) {
+	c := NewCollectorCap(4)
+	for i := 0; i < 10; i++ {
+		c.Emit(Event{Thread: i, Kind: Step})
+	}
+	events := c.Events()
+	if len(events) != 4 || c.Len() != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	// The most recent 4 events survive, in order.
+	for i, e := range events {
+		if want := int64(7 + i); e.Seq != want {
+			t.Errorf("events[%d].Seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	if c.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", c.Dropped())
+	}
+	if !c.Truncated() {
+		t.Error("Truncated = false after overflow")
+	}
+	if c.Total() != 10 {
+		t.Errorf("Total = %d, want 10", c.Total())
+	}
+}
+
+func TestRingDefaultCapIsBounded(t *testing.T) {
+	c := NewCollector()
+	if c.Cap() != DefaultCap {
+		t.Fatalf("default cap = %d, want %d", c.Cap(), DefaultCap)
+	}
+	if c.Truncated() {
+		t.Error("fresh collector claims truncation")
+	}
+}
+
+func TestRingUnboundedEscapeHatch(t *testing.T) {
+	c := NewCollectorCap(-1)
+	for i := 0; i < 100; i++ {
+		c.Emit(Event{Kind: Step})
+	}
+	if c.Len() != 100 || c.Dropped() != 0 {
+		t.Errorf("unbounded collector dropped events: len=%d dropped=%d", c.Len(), c.Dropped())
+	}
+}
+
+func TestRingConcurrentWrap(t *testing.T) {
+	c := NewCollectorCap(32)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Emit(Event{Thread: id, Kind: Step})
+			}
+		}(i)
+	}
+	wg.Wait()
+	events := c.Events()
+	if len(events) != 32 {
+		t.Fatalf("retained %d, want 32", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("retained tail not contiguous at %d: %d then %d", i, events[i-1].Seq, events[i].Seq)
+		}
+	}
+	if c.Dropped() != 800-32 {
+		t.Errorf("Dropped = %d, want %d", c.Dropped(), 800-32)
+	}
+}
+
+func TestSubscribeDeliversLiveEvents(t *testing.T) {
+	c := NewCollector()
+	c.Emit(Event{Kind: ThreadStart}) // before subscribe: not delivered
+	sub := c.Subscribe(16)
+	c.Emit(Event{Kind: Step})
+	c.Emit(Event{Kind: Output, Name: "hi"})
+	c.CloseSubs()
+	var got []Event
+	for e := range sub.C {
+		got = append(got, e)
+	}
+	if len(got) != 2 || got[0].Kind != Step || got[1].Kind != Output {
+		t.Fatalf("subscriber got %v", got)
+	}
+	if sub.Dropped() != 0 {
+		t.Errorf("sub dropped %d", sub.Dropped())
+	}
+}
+
+func TestSlowSubscriberDropsNotBlocks(t *testing.T) {
+	c := NewCollector()
+	sub := c.Subscribe(2) // tiny buffer, never read
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			c.Emit(Event{Kind: Step})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Emit blocked on a slow subscriber")
+	}
+	if d := sub.Dropped(); d != 48 {
+		t.Errorf("sub.Dropped = %d, want 48", d)
+	}
+	c.Unsubscribe(sub)
+	c.Unsubscribe(sub) // idempotent
+	if _, ok := <-sub.C; ok {
+		// two buffered events drain first; channel must close after
+		<-sub.C
+		if _, ok := <-sub.C; ok {
+			t.Error("channel still open after Unsubscribe")
+		}
+	}
+}
+
+func TestSubscribeAfterCloseSubsEmitSafe(t *testing.T) {
+	c := NewCollector()
+	sub := c.Subscribe(4)
+	c.CloseSubs()
+	c.Emit(Event{Kind: Step}) // must not panic on a closed channel
+	if _, ok := <-sub.C; ok {
+		t.Error("closed subscription delivered an event")
 	}
 }

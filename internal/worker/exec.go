@@ -45,7 +45,7 @@ func ExecuteTracked(req *Request, cache *core.CompileCache, track func(Canceler)
 	}
 	var col *trace.Collector
 	if req.Trace || req.Race {
-		col = trace.NewCollector()
+		col = trace.NewCollectorCap(req.TraceCap)
 		cfg.Tracer = col
 		cfg.TraceVars = req.Race
 	}
@@ -108,6 +108,8 @@ func ExecuteTracked(req *Request, cache *core.CompileCache, track func(Canceler)
 			LockAcquires: sum.LockAcquires,
 			LockWaits:    sum.LockWaits,
 			Outputs:      sum.Outputs,
+			Truncated:    col.Truncated(),
+			Dropped:      col.Dropped(),
 		}
 		if req.Race {
 			rep := racedetect.Analyze(events)

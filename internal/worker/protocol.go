@@ -49,6 +49,11 @@ type Request struct {
 	Opt     int    `json:"opt"`
 	Trace   bool   `json:"trace,omitempty"`
 	Race    bool   `json:"race,omitempty"`
+	// TraceCap overrides the trace collector's retention bound for this
+	// run (0 = trace.DefaultCap). The collector is a ring: when a run
+	// emits more events than the cap, the oldest are dropped and the
+	// summary reports Truncated/Dropped.
+	TraceCap int `json:"trace_cap,omitempty"`
 
 	// Limits is the effective (already clamped) budget for this run.
 	// Every attempt carries the full budget: a retried request must
@@ -76,13 +81,19 @@ type Response struct {
 	Races []string   `json:"races,omitempty"`
 }
 
-// TraceInfo is the wire form of the execution-event summary.
+// TraceInfo is the wire form of the execution-event summary. The counts
+// cover the retained window only; Truncated/Dropped say when the ring
+// overflowed and the window is the tail of the run, not all of it.
 type TraceInfo struct {
 	Threads      int `json:"threads"`
 	Steps        int `json:"steps"`
 	LockAcquires int `json:"lock_acquires"`
 	LockWaits    int `json:"lock_waits"`
 	Outputs      int `json:"outputs"`
+	// Truncated reports that the collector's ring overflowed: Dropped
+	// events from the start of the run were discarded before analysis.
+	Truncated bool  `json:"truncated,omitempty"`
+	Dropped   int64 `json:"dropped,omitempty"`
 }
 
 // HashProgram derives the quarantine key for one executable identity:

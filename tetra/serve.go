@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"repro/internal/server"
+	"repro/internal/session"
 	"repro/internal/worker"
 )
 
@@ -19,6 +20,12 @@ import (
 // promotion tier: hot programs are compiled via gogen and `go build`
 // into one-shot native binaries, with automatic demotion back to the
 // VM tier if an artifact crashes.
+//
+// The server also hosts streaming debug sessions (POST /session + SSE):
+// MaxSessions caps them server-wide, SessionIdleTimeout evicts abandoned
+// ones, and SessionMaxAge replaces the batch deadline on the session
+// path. Session counters appear in ServerMetrics.Sessions and the
+// "stream_lag" latency histogram.
 type ServerOptions = server.Options
 
 // Isolation modes for ServerOptions.Isolation.
@@ -57,9 +64,16 @@ type NativeStats = worker.NativeStats
 
 // Server is the execution service behind cmd/tetrad: POST /run compiles
 // (through a shared CompileCache) and executes untrusted programs under
-// clamped guard budgets; GET /metrics and GET /healthz expose operational
+// clamped guard budgets; POST /session opens a streaming debug session
+// (SSE events, per-thread stepping, streamed stdin, on-demand race and
+// deadlock analysis); GET /metrics and GET /healthz expose operational
 // state. It implements http.Handler; use Drain for graceful shutdown.
 type Server = server.Server
+
+// SessionStats reports the streaming-session registry's counters
+// (active, created, evicted, rejected), surfaced in
+// ServerMetrics.Sessions.
+type SessionStats = session.Stats
 
 // ServerMetrics is the snapshot served by GET /metrics.
 type ServerMetrics = server.MetricsSnapshot

@@ -52,8 +52,16 @@ type Event = trace.Event
 // and read Events() afterwards.
 type Collector = trace.Collector
 
-// NewCollector returns an empty event collector.
+// NewCollector returns an empty event collector. Retention is bounded:
+// the collector is a ring keeping the most recent trace.DefaultCap
+// events (Dropped/Truncated report overflow), so tracing a long run
+// cannot exhaust the embedding process's memory.
 func NewCollector() *Collector { return trace.NewCollector() }
+
+// NewCollectorCap returns an event collector retaining at most capacity
+// events (0 = the default bound, negative = unbounded — only for short
+// trusted runs).
+func NewCollectorCap(capacity int) *Collector { return trace.NewCollectorCap(capacity) }
 
 // Config controls one program execution.
 type Config struct {
