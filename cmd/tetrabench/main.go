@@ -30,6 +30,10 @@
 //	          workloads on the interpreter, the warm bytecode VM and a
 //	          promoted gogen-compiled native artifact, outputs compared
 //	          byte-for-byte; writes BENCH_tiered.json
+//	vmreg     R1: register-IR rewrite — arithmetic-loop ns/iter on the
+//	          register VM vs the retired stack VM's committed numbers,
+//	          plus a per-superinstruction win breakdown via fusion masks
+//	          and an inline-cached call loop; writes BENCH_vmreg.json
 //	session   SE1: streaming debug sessions — full-lifecycle latency
 //	          (create → terminal SSE frame), step-command round trips,
 //	          trace-frame throughput through the capped ring, and
@@ -63,7 +67,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, limits, scaling, opt, sem, serve, isolate, tiered, session, or all")
+	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, limits, scaling, opt, sem, vmreg, serve, isolate, tiered, session, or all")
 	limit := flag.Int("limit", 200000, "E1: count primes below this limit")
 	fullScale := flag.Bool("paper-scale", false, "E1: use the paper's full workload (first million primes ⇒ limit 15485864); slow on the interpreter")
 	n := flag.Int("n", 10, "E2: number of TSP cities")
@@ -107,6 +111,12 @@ func run() int {
 			outPath = "BENCH_sem.json"
 		}
 		return semOverhead(*quick, *reps, outPath)
+	case "vmreg":
+		outPath := *out
+		if outPath == "BENCH_scaling.json" {
+			outPath = "BENCH_vmreg.json"
+		}
+		return vmreg(*quick, *reps, outPath)
 	case "serve":
 		outPath := *out
 		if outPath == "BENCH_scaling.json" {
@@ -294,6 +304,22 @@ func semOverhead(quick bool, reps int, outPath string) int {
 	}
 	bench.PrintSemReport(rep)
 	if err := bench.WriteSemJSON(outPath, rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("\nwrote %s\n", outPath)
+	return 0
+}
+
+func vmreg(quick bool, reps int, outPath string) int {
+	fmt.Println("R1: register-IR rewrite — register VM vs retired stack VM, superinstruction breakdown")
+	rep, err := bench.VMReg(quick, reps, "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Print(bench.FormatVMRegTable(rep))
+	if err := bench.WriteVMRegJSON(outPath, rep); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}

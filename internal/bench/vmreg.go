@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bytecode"
+	"repro/internal/core"
+)
+
+// The register-VM experiment: what did rebuilding the bytecode pipeline
+// around the register IR buy over the stack IR it replaced? Three views:
+//
+//   - old vs new: ns per iteration of the arithmetic loop on the register
+//     VM at -O0 and -O2, against the stack VM's numbers for the identical
+//     workload recorded in BENCH_sem.json before the rewrite (the stack
+//     IR no longer exists in the tree, so its committed measurements are
+//     the baseline — same workload, same harness, same normalization);
+//   - per-superinstruction breakdown: the -O2 loop re-measured with each
+//     fusion family disabled via OptimizeWith masks, so each
+//     superinstruction's contribution is isolated;
+//   - calls: a call-bound loop at -O2, characterizing the inline-cache
+//     dispatch path (no stack-IR baseline was recorded for it).
+//
+// The acceptance bar for the rewrite is >=2x on the arithmetic-loop rows.
+// Results are committed as BENCH_vmreg.json alongside the code.
+
+// Stack-VM arithloop baselines from BENCH_sem.json as committed before
+// the register rewrite, used when the file is missing or predates this
+// experiment (ns per iteration, 2M-iteration workload, best-of-3).
+const (
+	stackArithNSItO0 = 286.2880615
+	stackArithNSItO2 = 247.466164
+)
+
+// VMRegRow is one old-vs-new comparison point.
+type VMRegRow struct {
+	Workload  string  `json:"workload"`
+	Level     int     `json:"level"`
+	Iters     int     `json:"iters"`
+	WallNS    int64   `json:"wall_ns"`
+	NSPerIt   float64 `json:"ns_per_iter"`
+	StackNSIt float64 `json:"stack_ns_per_iter,omitempty"` // pre-rewrite baseline; 0 = none recorded
+	Speedup   float64 `json:"speedup,omitempty"`           // stack / register
+}
+
+// VMRegFusionRow isolates one fusion configuration at -O2.
+type VMRegFusionRow struct {
+	Config  string  `json:"config"` // which superinstructions were enabled
+	Iters   int     `json:"iters"`
+	WallNS  int64   `json:"wall_ns"`
+	NSPerIt float64 `json:"ns_per_iter"`
+	WinPct  float64 `json:"win_pct_vs_nofuse"` // improvement over the no-fusion run
+}
+
+// VMRegReport is the BENCH_vmreg.json document.
+type VMRegReport struct {
+	Experiment string           `json:"experiment"`
+	IRVersion  int              `json:"ir_version"`
+	HostCores  int              `json:"host_cores"`
+	Quick      bool             `json:"quick"`
+	Rows       []VMRegRow       `json:"rows"`
+	Fusion     []VMRegFusionRow `json:"fusion"`
+}
+
+// CallLoopSource is a call-bound loop: each iteration makes two user-level
+// calls through inline-cached sites.
+func CallLoopSource(n int) string {
+	return fmt.Sprintf(`def step(x int) int:
+    return x + 1
+
+def twice(x int) int:
+    return step(step(x))
+
+def main():
+    i = 0
+    s = 0
+    while i < %d:
+        s = twice(s) %% 1000003
+        i = i + 1
+    print(s)
+`, n)
+}
+
+// timeVM measures one compiled program, best-of reps, returning wall time.
+func timeVM(bc *bytecode.Program, reps int) (time.Duration, error) {
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		var out bytes.Buffer
+		m := core.NewVM(bc, core.Config{Stdout: &out})
+		start := time.Now()
+		if err := m.Run(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// semBaseline reads the stack-VM arithloop ns/iter rows out of a
+// pre-rewrite BENCH_sem.json; the committed constants back it up.
+func semBaseline(path string) (o0, o2 float64) {
+	o0, o2 = stackArithNSItO0, stackArithNSItO2
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+	var rep SemReport
+	if json.Unmarshal(data, &rep) != nil {
+		return
+	}
+	for _, row := range rep.VM {
+		if row.Workload != "arithloop" {
+			continue
+		}
+		switch row.Level {
+		case 0:
+			o0 = row.NSPerIt
+		case 2:
+			o2 = row.NSPerIt
+		}
+	}
+	return
+}
+
+// VMReg runs the register-VM experiment. baselinePath names the
+// BENCH_sem.json carrying the stack-VM numbers ("" uses the default).
+func VMReg(quick bool, reps int, baselinePath string) (*VMRegReport, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	if baselinePath == "" {
+		baselinePath = "BENCH_sem.json"
+	}
+	iters := 2_000_000
+	if quick {
+		iters = 100_000
+	}
+	baseO0, baseO2 := semBaseline(baselinePath)
+
+	rep := &VMRegReport{
+		Experiment: "vmreg",
+		IRVersion:  bytecode.IRVersion,
+		HostCores:  runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+
+	// Old vs new on the workload the stack VM was measured with. The
+	// baseline ns/iter came from the full 2M-iteration run; ns/iter is
+	// iteration-count invariant for this loop, so quick runs still compare.
+	arith, err := core.Compile("vmreg.ttr", ArithLoopSource(iters))
+	if err != nil {
+		return nil, err
+	}
+	for _, level := range []int{0, 2} {
+		bc, err := core.CompileBytecodeOpt(arith, level)
+		if err != nil {
+			return nil, err
+		}
+		d, err := timeVM(bc, reps)
+		if err != nil {
+			return nil, err
+		}
+		row := VMRegRow{
+			Workload: "arithloop", Level: level, Iters: iters,
+			WallNS: d.Nanoseconds(), NSPerIt: float64(d.Nanoseconds()) / float64(iters),
+		}
+		if level == 0 {
+			row.StackNSIt = baseO0
+		} else {
+			row.StackNSIt = baseO2
+		}
+		if row.NSPerIt > 0 {
+			row.Speedup = row.StackNSIt / row.NSPerIt
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+
+	// The call-bound loop characterizes inline-cache dispatch (new-IR
+	// only; the stack VM recorded no baseline for it).
+	callIters := iters / 4
+	call, err := core.Compile("vmregcall.ttr", CallLoopSource(callIters))
+	if err != nil {
+		return nil, err
+	}
+	callBC, err := core.CompileBytecodeOpt(call, 2)
+	if err != nil {
+		return nil, err
+	}
+	d, err := timeVM(callBC, reps)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, VMRegRow{
+		Workload: "callloop", Level: 2, Iters: callIters,
+		WallNS: d.Nanoseconds(), NSPerIt: float64(d.Nanoseconds()) / float64(callIters),
+	})
+
+	// Per-superinstruction breakdown: -O2 pipeline with fusion families
+	// masked. FuseCmpConst refines OpCmpJump, so it is only meaningful on
+	// top of FuseCmpJump.
+	configs := []struct {
+		name string
+		mask bytecode.FusionMask
+	}{
+		{"none", 0},
+		{"cmpjump", bytecode.FuseCmpJump},
+		{"cmpjump+cmpkjump", bytecode.FuseCmpJump | bytecode.FuseCmpConst},
+		{"arithk", bytecode.FuseArithConst},
+		{"all", bytecode.FuseAll},
+	}
+	var noFuse float64
+	for _, cfg := range configs {
+		bc, err := core.CompileBytecode(arith) // fresh: the optimizer rewrites in place
+		if err != nil {
+			return nil, err
+		}
+		bytecode.OptimizeWith(bc, bytecode.O2, cfg.mask)
+		d, err := timeVM(bc, reps)
+		if err != nil {
+			return nil, err
+		}
+		row := VMRegFusionRow{
+			Config: cfg.name, Iters: iters,
+			WallNS: d.Nanoseconds(), NSPerIt: float64(d.Nanoseconds()) / float64(iters),
+		}
+		if cfg.name == "none" {
+			noFuse = row.NSPerIt
+		} else if noFuse > 0 {
+			row.WinPct = (noFuse - row.NSPerIt) / noFuse * 100
+		}
+		rep.Fusion = append(rep.Fusion, row)
+	}
+	return rep, nil
+}
+
+// FormatVMRegTable renders the report as the console table tetrabench
+// shows.
+func FormatVMRegTable(rep *VMRegReport) string {
+	var sb bytes.Buffer
+	fmt.Fprintf(&sb, "register IR v%d vs the retired stack IR (stack numbers: committed BENCH_sem.json):\n", rep.IRVersion)
+	fmt.Fprintf(&sb, "  %-10s %3s %12s %12s %9s\n", "workload", "O", "stack ns/it", "reg ns/it", "speedup")
+	for _, r := range rep.Rows {
+		stack, speed := "-", "-"
+		if r.StackNSIt > 0 {
+			stack = fmt.Sprintf("%.1f", r.StackNSIt)
+			speed = fmt.Sprintf("%.2fx", r.Speedup)
+		}
+		fmt.Fprintf(&sb, "  %-10s %3d %12s %12.1f %9s\n", r.Workload, r.Level, stack, r.NSPerIt, speed)
+	}
+	sb.WriteString("\nsuperinstruction breakdown (arithloop at -O2, fusion families masked):\n")
+	fmt.Fprintf(&sb, "  %-18s %12s %9s\n", "config", "ns/it", "win")
+	for _, f := range rep.Fusion {
+		fmt.Fprintf(&sb, "  %-18s %12.1f %+8.1f%%\n", f.Config, f.NSPerIt, f.WinPct)
+	}
+	return sb.String()
+}
+
+// WriteVMRegJSON writes the report, pretty-printed for diffable commits.
+func WriteVMRegJSON(path string, rep *VMRegReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

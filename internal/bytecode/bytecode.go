@@ -1,16 +1,39 @@
-// Package bytecode defines Tetra's bytecode instruction set and the
-// compiler from checked ASTs to bytecode.
+// Package bytecode defines Tetra's register-based bytecode instruction
+// set and the compiler from checked ASTs to bytecode.
 //
 // The paper lists a native-code compiler as future work (§VI): "compile
 // Tetra code into an efficient executable ... one could write a Tetra
 // program, run it through the IDE and step through it in the debugger when
 // it is being developed, then compile it to a native executable to run it
 // more efficiently." This package plays that role inside the reproduction:
-// a compact stack machine that removes the AST-walk dispatch overhead while
+// a compact register machine that removes both the AST-walk dispatch
+// overhead and the stack-shuffle overhead of a classic stack VM, while
 // keeping the identical parallel runtime semantics (threads, shared cells,
 // named locks). The interpreter remains the debuggable path; the VM
-// (internal/vm) is the fast path; the two are differentially tested against
-// each other.
+// (internal/vm) is the fast path; the two are differentially tested
+// against each other.
+//
+// # Register model
+//
+// Every instruction is three-address: Ins{Op, Dst, A, B} (plus C for the
+// opcodes that need a fourth operand) over one flat register index space:
+//
+//   - registers [0, NumSlots) are the function's variable slots, assigned
+//     by the checker — parameters first, then declared locals. These are
+//     the slots the debugger names, the slots `parallel` threads share,
+//     and the slot `parallel for` forks per iteration.
+//   - registers [NumSlots, NumSlots+Chunk.NumTemps) are expression
+//     temporaries, private to one activation of one chunk. Temporaries
+//     are never shared between threads: each execution of a chunk gets a
+//     fresh temp file, so a `for` loop's iteration state inside a
+//     `parallel for` body can never race across iterations.
+//
+// The compiler evaluates expressions directly into registers: an
+// assignment `x = y + z` is one OpAdd with Dst=x, and `i = i + 1` becomes
+// a single arithmetic instruction reading and writing slot i — the
+// load/arith/store shuffle of the former stack IR does not exist in this
+// IR. The optimizer (optimize.go) further fuses constant operands and
+// compare-branch pairs into superinstructions at -O2.
 //
 // Parallel constructs compile to sub-chunks: a parallel block with n child
 // statements becomes n consecutive chunks, launched by one OpParallel
@@ -21,94 +44,118 @@ package bytecode
 
 import "fmt"
 
+// IRVersion identifies the bytecode format. It is folded into compile
+// cache keys (internal/core) so that bytecode compiled under an older IR
+// can never be replayed by a newer VM in a long-running process: an entry
+// written under a different version simply misses. Bump it whenever the
+// instruction encoding or register model changes incompatibly.
+//
+// Version history: 1 = the original stack IR; 2 = the register IR
+// (3-address instructions, per-chunk temporaries, call-site IDs).
+const IRVersion = 2
+
 // Op is a bytecode opcode.
 type Op uint8
 
-// The instruction set. A and B (and C where noted) are the operands of
-// Instr.
+// The instruction set. Operand meaning per opcode; registers are frame
+// slots (< NumSlots) or chunk temporaries (>= NumSlots).
 const (
 	OpNop Op = iota
 
-	OpConst // push Consts[A]
-	OpTrue  // push true
-	OpFalse // push false
+	OpConst // Dst = Consts[A]
+	OpMove  // Dst = reg A
+	OpToReal // Dst = int reg A widened to real
 
-	OpLoad  // push frame slot A
-	OpStore // pop into frame slot A
-
-	OpPop    // drop top of stack
-	OpToReal // convert int on top of stack to real
-
-	// Arithmetic and comparison; operands are popped right-then-left.
+	// Arithmetic: Dst = A op B. Evaluated by internal/sem; division and
+	// modulo raise positioned runtime errors.
 	OpAdd
 	OpSub
 	OpMul
 	OpDiv
 	OpMod
-	OpNeg
-	OpNot
+	// Comparison: Dst = bool(A op B).
 	OpEq
 	OpNe
 	OpLt
 	OpLe
 	OpGt
 	OpGe
+	OpNeg // Dst = -A
+	OpNot // Dst = not A
 
 	OpJump        // pc = A
-	OpJumpIfFalse // pop; if false pc = A
-	OpJumpIfTrue  // pop; if true pc = A
+	OpJumpIfFalse // if !reg B: pc = A
+	OpJumpIfTrue  // if reg B: pc = A
 
-	OpCall        // call Funcs[A] with B args popped from the stack
-	OpCallBuiltin // call builtin A with B args
-	OpReturn      // pop return value and leave the function
+	// Calls. Arguments live in C consecutive registers starting at B. Dst
+	// receives the result, or is -1 when the value is discarded (statement
+	// position) or the callee is void. S is the call site's inline-cache
+	// id (unique per program; see Program.NumSites).
+	OpCall        // call Funcs[A]
+	OpCallBuiltin // call builtin A
+	OpReturn      // return reg A
 	OpReturnNone  // leave the function with no value
 
-	OpIndex      // pop index, pop array/string, push element
-	OpStoreIndex // pop value, pop index, pop array; store
-	OpArray      // pop A elements, push array with element type Types[B]
-	OpRange      // pop hi, pop lo, push [lo .. hi]
+	OpIndex    // Dst = reg A [ reg B ]   (array/string indexing)
+	OpSetIndex // reg A [ reg B ] = reg C
+	OpArray    // Dst = array of the B registers starting at A, elem type Types[C]
+	OpRange    // Dst = [regA .. regB]
 
-	// OpForIter drives for-in loops. Slot A holds the sequence and slot A+1
-	// the iteration index (both hidden compiler slots); C is the induction
-	// variable slot. When the index passes the end, jump to B.
+	// OpForIter drives for-in loops. Temp A holds the sequence and temp
+	// A+1 the iteration index (both private to this activation); Dst is
+	// the induction variable slot. When the index passes the end, jump to
+	// B. String sequences are materialized into their runes on first
+	// touch, in place, so iteration is rune-correct without per-step
+	// decoding.
 	OpForIter
 
 	// Parallelism.
 	OpParallel   // spawn chunks [A, A+B) each on its own thread; join all
 	OpBackground // spawn chunks [A, A+B); do not join
-	// OpParFor pops the sequence and runs chunk A once per element on its
-	// own thread, with a private cell for induction slot C; joins all.
+	// OpParFor runs chunk A once per element of sequence reg B, each on
+	// its own thread with a private cell for induction slot C; joins all.
 	OpParFor
 
 	OpLockAcquire // acquire program lock A
 	OpLockRelease // release program lock A
 
-	// Fused opcodes, produced only by the optimizer (internal/bytecode's
-	// optimize.go) at -O2. The compiler never emits them directly.
+	// Superinstructions, produced only by the optimizer (optimize.go) at
+	// -O2. The compiler never emits them directly. Each preserves the
+	// source position of the operation that can raise, so runtime errors
+	// report exactly what -O0 reports.
 
-	// OpCmpJump fuses a comparison with the conditional branch consuming
-	// it: pop r, pop l, evaluate compare-op B (one of OpEq..OpGe), and jump
-	// to A when the result matches sense C (1 = jump if true, 0 = jump if
-	// false).
-	OpCmpJump
-	// OpArithConst fuses a constant load with the arithmetic op consuming
-	// it: pop l, push l <op B> Consts[A], where B is one of OpAdd..OpMod.
+	// OpArithConst fuses a constant right operand into arithmetic:
+	// Dst = reg A <op C> Consts[B]. With Dst == A and A a variable slot
+	// this is the fused load-arith-store of the hot loop shapes
+	// (`i = i + 1`, `s = s % 1000003`).
 	OpArithConst
+	// OpArithConstL is the mirrored form for non-commutative operators:
+	// Dst = Consts[B] <op C> reg A.
+	OpArithConstL
+	// OpCmpJump fuses a comparison with the conditional branch consuming
+	// it: evaluate reg A <cmp> reg B where C packs (cmpOp<<1 | sense),
+	// and jump to Dst when the result matches sense (1 = jump if true,
+	// 0 = jump if false).
+	OpCmpJump
+	// OpCmpConstJump additionally fuses a constant operand:
+	// C packs (cmpOp<<2 | side<<1 | sense); side 0 compares
+	// reg A <cmp> Consts[B], side 1 compares Consts[B] <cmp> reg A.
+	OpCmpConstJump
 )
 
 var opNames = [...]string{
-	OpNop: "nop", OpConst: "const", OpTrue: "true", OpFalse: "false",
-	OpLoad: "load", OpStore: "store", OpPop: "pop", OpToReal: "toreal",
+	OpNop: "nop", OpConst: "const", OpMove: "move", OpToReal: "toreal",
 	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
-	OpNeg: "neg", OpNot: "not",
 	OpEq: "eq", OpNe: "ne", OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge",
+	OpNeg: "neg", OpNot: "not",
 	OpJump: "jump", OpJumpIfFalse: "jfalse", OpJumpIfTrue: "jtrue",
 	OpCall: "call", OpCallBuiltin: "callb", OpReturn: "ret", OpReturnNone: "retnone",
-	OpIndex: "index", OpStoreIndex: "storeidx", OpArray: "array", OpRange: "range",
+	OpIndex: "index", OpSetIndex: "setidx", OpArray: "array", OpRange: "range",
 	OpForIter:  "foriter",
 	OpParallel: "parallel", OpBackground: "background", OpParFor: "parfor",
 	OpLockAcquire: "lockacq", OpLockRelease: "lockrel",
-	OpCmpJump: "cmpjump", OpArithConst: "arithconst",
+	OpArithConst: "arithk", OpArithConstL: "arithkl",
+	OpCmpJump: "cmpjump", OpCmpConstJump: "cmpkjump",
 }
 
 // String returns the opcode mnemonic.
@@ -117,4 +164,39 @@ func (o Op) String() string {
 		return opNames[o]
 	}
 	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Superinstruction C-field packing helpers.
+
+// PackCmp packs a comparison opcode and jump sense for OpCmpJump.
+func PackCmp(cmp Op, sense bool) int32 {
+	c := int32(cmp) << 1
+	if sense {
+		c |= 1
+	}
+	return c
+}
+
+// UnpackCmp reverses PackCmp.
+func UnpackCmp(c int32) (cmp Op, sense bool) {
+	return Op(c >> 1), c&1 != 0
+}
+
+// PackCmpConst packs a comparison opcode, which side the constant is on
+// (false = constant is the right operand), and the jump sense for
+// OpCmpConstJump.
+func PackCmpConst(cmp Op, constLeft, sense bool) int32 {
+	c := int32(cmp) << 2
+	if constLeft {
+		c |= 2
+	}
+	if sense {
+		c |= 1
+	}
+	return c
+}
+
+// UnpackCmpConst reverses PackCmpConst.
+func UnpackCmpConst(c int32) (cmp Op, constLeft, sense bool) {
+	return Op(c >> 2), c&2 != 0, c&1 != 0
 }

@@ -2,7 +2,6 @@ package bytecode
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/ast"
 	"repro/internal/token"
@@ -10,29 +9,36 @@ import (
 	"repro/internal/value"
 )
 
-// Instr is one instruction. The meaning of A, B and C depends on the
-// opcode; see the Op constants.
+// Instr is one three-address instruction. Dst is the destination register
+// (or a jump target's auxiliary operand for the fused compare-branches);
+// the meaning of A, B and C depends on the opcode — see the Op constants.
+// S is the inline-cache site id on call opcodes and unused elsewhere.
 type Instr struct {
-	Op      Op
-	A, B, C int32
+	Op            Op
+	Dst, A, B, C  int32
+	S             int32
 }
 
 // Chunk is a straight-line-with-jumps code sequence. Pos parallels Code,
-// giving each instruction's source position for runtime errors.
+// giving each instruction's source position for runtime errors. NumTemps
+// is how many temporary registers one activation of the chunk needs,
+// beyond the function's NumSlots variable registers.
 type Chunk struct {
-	Code []Instr
-	Pos  []token.Pos
+	Code     []Instr
+	Pos      []token.Pos
+	NumTemps int
 }
 
 // Func is one compiled function.
 type Func struct {
 	Name      string
 	NumParams int
-	NumSlots  int // includes parameters and compiler-hidden loop slots
+	NumSlots  int // variable registers: parameters then locals, checker-assigned
 	Shared    bool
 	Result    *types.Type
 	Consts    []value.Value
 	Types     []*types.Type // element-type table for OpArray
+	SlotNames []string      // variable names per slot, for the disassembler
 	Chunks    []Chunk       // Chunks[0] is the body; the rest are parallel sub-chunks
 }
 
@@ -41,9 +47,13 @@ type Program struct {
 	Funcs     []*Func
 	LockNames []string
 	MainIndex int // -1 when the source has no main
+	// NumSites is the number of call sites in the program; OpCall and
+	// OpCallBuiltin instructions carry a unique S in [0, NumSites) that
+	// the VM uses to index its inline-cache table.
+	NumSites int
 }
 
-// Compile lowers a checked AST program to bytecode.
+// Compile lowers a checked AST program to register bytecode.
 func Compile(p *ast.Program) (*Program, error) {
 	out := &Program{LockNames: p.LockNames, MainIndex: -1}
 	// Parameter types of every function, indexed by function index, used to
@@ -56,8 +66,9 @@ func Compile(p *ast.Program) (*Program, error) {
 		}
 		params[i] = pts
 	}
+	var sites int32
 	for i, f := range p.Funcs {
-		cf, err := compileFunc(f, params)
+		cf, err := compileFunc(f, params, &sites)
 		if err != nil {
 			return nil, err
 		}
@@ -66,6 +77,7 @@ func Compile(p *ast.Program) (*Program, error) {
 			out.MainIndex = i
 		}
 	}
+	out.NumSites = int(sites)
 	return out, nil
 }
 
@@ -73,11 +85,16 @@ type fnCompiler struct {
 	fn     *Func
 	src    *ast.FuncDecl
 	params [][]*types.Type // parameter types of every program function
+	sites  *int32          // program-wide call-site counter
 	// cur is the chunk being emitted into.
 	cur int
-	// nextHidden allocates hidden slots (loop sequence + index pairs).
-	nextHidden int
-	// lockDepth tracks enclosing lock blocks within the current chunk so
+	// nextTemp is the next free temporary register; temporaries live in
+	// [fn.NumSlots, maxTemp) and are allocated with stack discipline —
+	// each statement and each genExprTo call releases its temporaries on
+	// exit, so the watermark tracks expression depth, not program size.
+	nextTemp int
+	maxTemp  int
+	// lockStack tracks enclosing lock blocks within the current chunk so
 	// early exits (return) can release them.
 	lockStack []int32
 	// loopLocks records how many locks were held when the innermost loop
@@ -88,32 +105,46 @@ type fnCompiler struct {
 	continues [][]int
 }
 
-func compileFunc(f *ast.FuncDecl, params [][]*types.Type) (*Func, error) {
+func compileFunc(f *ast.FuncDecl, params [][]*types.Type, sites *int32) (*Func, error) {
 	c := &fnCompiler{
 		params: params,
+		sites:  sites,
 		fn: &Func{
 			Name:      f.Name,
 			NumParams: len(f.Params),
+			NumSlots:  f.NumSlots,
 			Shared:    f.HasParallel,
 			Result:    f.Result,
+			SlotNames: f.SlotNames,
 			Chunks:    make([]Chunk, 1),
 		},
-		src:        f,
-		nextHidden: f.NumSlots,
+		src:      f,
+		nextTemp: f.NumSlots,
+		maxTemp:  f.NumSlots,
 	}
 	if err := c.block(f.Body); err != nil {
 		return nil, err
 	}
-	c.emit(OpReturnNone, 0, 0, 0, f.Pos())
-	c.fn.NumSlots = c.nextHidden
+	c.emit(OpReturnNone, 0, 0, 0, 0, f.Pos())
+	c.fn.Chunks[0].NumTemps = c.maxTemp - c.fn.NumSlots
 	return c.fn, nil
 }
 
 func (c *fnCompiler) chunk() *Chunk { return &c.fn.Chunks[c.cur] }
 
-func (c *fnCompiler) emit(op Op, a, b, cc int32, pos token.Pos) int {
+func (c *fnCompiler) emit(op Op, dst, a, b, cc int32, pos token.Pos) int {
 	ch := c.chunk()
-	ch.Code = append(ch.Code, Instr{Op: op, A: a, B: b, C: cc})
+	ch.Code = append(ch.Code, Instr{Op: op, Dst: dst, A: a, B: b, C: cc})
+	ch.Pos = append(ch.Pos, pos)
+	return len(ch.Code) - 1
+}
+
+// emitCall emits a call instruction carrying a fresh inline-cache site id.
+func (c *fnCompiler) emitCall(op Op, dst, fnIdx, argBase, nargs int32, pos token.Pos) int {
+	site := *c.sites
+	*c.sites++
+	ch := c.chunk()
+	ch.Code = append(ch.Code, Instr{Op: op, Dst: dst, A: fnIdx, B: argBase, C: nargs, S: site})
 	ch.Pos = append(ch.Pos, pos)
 	return len(ch.Code) - 1
 }
@@ -125,6 +156,32 @@ func (c *fnCompiler) patch(i int) {
 }
 
 func (c *fnCompiler) pc() int32 { return int32(len(c.chunk().Code)) }
+
+// temp allocates one temporary register.
+func (c *fnCompiler) temp() int32 {
+	t := c.nextTemp
+	c.nextTemp++
+	if c.nextTemp > c.maxTemp {
+		c.maxTemp = c.nextTemp
+	}
+	return int32(t)
+}
+
+// tempN allocates n consecutive temporary registers (call-argument and
+// array-element blocks).
+func (c *fnCompiler) tempN(n int) int32 {
+	t := c.nextTemp
+	c.nextTemp += n
+	if c.nextTemp > c.maxTemp {
+		c.maxTemp = c.nextTemp
+	}
+	return int32(t)
+}
+
+// isTemp reports whether reg is a compiler temporary the current
+// expression owns (as opposed to a variable slot another thread or a
+// subexpression might read).
+func (c *fnCompiler) isTemp(reg int32) bool { return int(reg) >= c.fn.NumSlots }
 
 func (c *fnCompiler) constIndex(v value.Value) int32 { return c.fn.constIndex(v) }
 
@@ -160,26 +217,34 @@ func (c *fnCompiler) block(b *ast.Block) error {
 	return nil
 }
 
+// stmt compiles one statement; all temporaries it allocates are released
+// when it completes. Loop-carried state (for-in sequence and index) stays
+// live exactly as long as the loop statement is being compiled.
 func (c *fnCompiler) stmt(s ast.Stmt) error {
+	base := c.nextTemp
+	err := c.stmtInner(s)
+	c.nextTemp = base
+	return err
+}
+
+func (c *fnCompiler) stmtInner(s ast.Stmt) error {
 	switch s := s.(type) {
 	case *ast.ExprStmt:
+		// Statement-position calls discard their value: Dst = -1.
 		call := s.X.(*ast.CallExpr)
-		if err := c.expr(call); err != nil {
-			return err
-		}
-		if call.Type() != nil {
-			c.emit(OpPop, 0, 0, 0, s.Pos())
-		}
-		return nil
+		return c.genCall(call, -1)
 
 	case *ast.AssignStmt:
 		return c.assign(s)
 
 	case *ast.IfStmt:
-		if err := c.expr(s.Cond); err != nil {
+		condBase := c.nextTemp
+		cond, err := c.genExpr(s.Cond)
+		if err != nil {
 			return err
 		}
-		jElse := c.emit(OpJumpIfFalse, 0, 0, 0, s.Pos())
+		jElse := c.emit(OpJumpIfFalse, 0, 0, cond, 0, s.Pos())
+		c.nextTemp = condBase // cond temp dead past the branch
 		if err := c.block(s.Then); err != nil {
 			return err
 		}
@@ -187,7 +252,7 @@ func (c *fnCompiler) stmt(s ast.Stmt) error {
 			c.patch(jElse)
 			return nil
 		}
-		jEnd := c.emit(OpJump, 0, 0, 0, s.Pos())
+		jEnd := c.emit(OpJump, 0, 0, 0, 0, s.Pos())
 		c.patch(jElse)
 		if err := c.block(s.Else); err != nil {
 			return err
@@ -197,65 +262,72 @@ func (c *fnCompiler) stmt(s ast.Stmt) error {
 
 	case *ast.WhileStmt:
 		top := c.pc()
-		if err := c.expr(s.Cond); err != nil {
+		condBase := c.nextTemp
+		cond, err := c.genExpr(s.Cond)
+		if err != nil {
 			return err
 		}
-		jExit := c.emit(OpJumpIfFalse, 0, 0, 0, s.Pos())
+		jExit := c.emit(OpJumpIfFalse, 0, 0, cond, 0, s.Pos())
+		c.nextTemp = condBase
 		c.pushLoop()
 		if err := c.block(s.Body); err != nil {
 			return err
 		}
-		c.emit(OpJump, top, 0, 0, s.Pos())
+		c.emit(OpJump, 0, top, 0, 0, s.Pos())
 		c.popLoop(top)
 		c.patch(jExit)
 		return nil
 
 	case *ast.ForStmt:
-		if err := c.expr(s.Seq); err != nil {
+		// Loop state lives in two consecutive temporaries private to this
+		// activation: the sequence and the iteration index. In a chunk run
+		// concurrently (a `for` inside `parallel for`), each thread
+		// therefore iterates independently — the state can't race.
+		state := c.tempN(2)
+		if err := c.genExprTo(s.Seq, state); err != nil {
 			return err
 		}
-		seqSlot := c.hidden2()
-		c.emit(OpConst, c.constIndex(value.NewInt(0)), 0, 0, s.Pos())
-		c.emit(OpStore, int32(seqSlot+1), 0, 0, s.Pos())
-		c.emit(OpStore, int32(seqSlot), 0, 0, s.Pos())
+		c.emit(OpConst, state+1, c.constIndex(value.NewInt(0)), 0, 0, s.Pos())
 		top := c.pc()
-		iter := c.emit(OpForIter, int32(seqSlot), 0, int32(s.Var.Slot), s.Pos())
+		iter := c.emit(OpForIter, int32(s.Var.Slot), state, 0, 0, s.Pos())
 		c.pushLoop()
 		if err := c.block(s.Body); err != nil {
 			return err
 		}
-		c.emit(OpJump, top, 0, 0, s.Pos())
+		c.emit(OpJump, 0, top, 0, 0, s.Pos())
 		c.popLoop(top)
 		c.chunk().Code[iter].B = c.pc()
-		// break jumps land after the loop; exit target for iter is here too.
 		return nil
 
 	case *ast.ReturnStmt:
-		// Release any locks held in this chunk before leaving.
+		// Release any locks held in this chunk before leaving. The release
+		// precedes evaluation of the return value, matching the
+		// interpreter's unwind order.
 		for i := len(c.lockStack) - 1; i >= 0; i-- {
-			c.emit(OpLockRelease, c.lockStack[i], 0, 0, s.Pos())
+			c.emit(OpLockRelease, 0, c.lockStack[i], 0, 0, s.Pos())
 		}
 		if s.Value == nil {
-			c.emit(OpReturnNone, 0, 0, 0, s.Pos())
+			c.emit(OpReturnNone, 0, 0, 0, 0, s.Pos())
 			return nil
 		}
-		if err := c.expr(s.Value); err != nil {
+		r, err := c.genExpr(s.Value)
+		if err != nil {
 			return err
 		}
-		c.widen(s.Value, c.fn.Result, s.Pos())
-		c.emit(OpReturn, 0, 0, 0, s.Pos())
+		r = c.widenReg(s.Value, c.fn.Result, r, s.Pos())
+		c.emit(OpReturn, 0, r, 0, 0, s.Pos())
 		return nil
 
 	case *ast.BreakStmt:
 		c.releaseLoopLocks(s.Pos())
-		j := c.emit(OpJump, 0, 0, 0, s.Pos())
+		j := c.emit(OpJump, 0, 0, 0, 0, s.Pos())
 		n := len(c.breaks) - 1
 		c.breaks[n] = append(c.breaks[n], j)
 		return nil
 
 	case *ast.ContinueStmt:
 		c.releaseLoopLocks(s.Pos())
-		j := c.emit(OpJump, 0, 0, 0, s.Pos())
+		j := c.emit(OpJump, 0, 0, 0, 0, s.Pos())
 		n := len(c.continues) - 1
 		c.continues[n] = append(c.continues[n], j)
 		return nil
@@ -264,13 +336,13 @@ func (c *fnCompiler) stmt(s ast.Stmt) error {
 		return nil
 
 	case *ast.LockStmt:
-		c.emit(OpLockAcquire, int32(s.LockIndex), 0, 0, s.Pos())
+		c.emit(OpLockAcquire, 0, int32(s.LockIndex), 0, 0, s.Pos())
 		c.lockStack = append(c.lockStack, int32(s.LockIndex))
 		if err := c.block(s.Body); err != nil {
 			return err
 		}
 		c.lockStack = c.lockStack[:len(c.lockStack)-1]
-		c.emit(OpLockRelease, int32(s.LockIndex), 0, 0, s.Pos())
+		c.emit(OpLockRelease, 0, int32(s.LockIndex), 0, 0, s.Pos())
 		return nil
 
 	case *ast.ParallelStmt:
@@ -280,7 +352,7 @@ func (c *fnCompiler) stmt(s ast.Stmt) error {
 				return err
 			}
 		}
-		c.emit(OpParallel, int32(first), int32(len(s.Body.Stmts)), 0, s.Pos())
+		c.emit(OpParallel, 0, int32(first), int32(len(s.Body.Stmts)), 0, s.Pos())
 		return nil
 
 	case *ast.BackgroundStmt:
@@ -290,18 +362,19 @@ func (c *fnCompiler) stmt(s ast.Stmt) error {
 				return err
 			}
 		}
-		c.emit(OpBackground, int32(first), int32(len(s.Body.Stmts)), 0, s.Pos())
+		c.emit(OpBackground, 0, int32(first), int32(len(s.Body.Stmts)), 0, s.Pos())
 		return nil
 
 	case *ast.ParallelForStmt:
-		if err := c.expr(s.Seq); err != nil {
+		seq, err := c.genExpr(s.Seq)
+		if err != nil {
 			return err
 		}
 		idx := len(c.fn.Chunks)
 		if err := c.subChunk(func() error { return c.block(s.Body) }); err != nil {
 			return err
 		}
-		c.emit(OpParFor, int32(idx), 0, int32(s.Var.Slot), s.Pos())
+		c.emit(OpParFor, 0, int32(idx), seq, int32(s.Var.Slot), s.Pos())
 		return nil
 	}
 	return fmt.Errorf("bytecode: unsupported statement %T", s)
@@ -309,34 +382,32 @@ func (c *fnCompiler) stmt(s ast.Stmt) error {
 
 // subChunk compiles body into a fresh chunk and restores the emission
 // context. Parallel bodies contain no break/continue/return that could
-// escape (the checker rejects them), so loop and lock state start empty.
+// escape (the checker rejects them), so loop and lock state start empty;
+// the new chunk gets its own temporary file.
 func (c *fnCompiler) subChunk(body func() error) error {
 	saveCur := c.cur
+	saveNext, saveMax := c.nextTemp, c.maxTemp
 	saveLocks := c.lockStack
 	saveLoopBase := c.loopLockBase
 	saveBreaks, saveConts := c.breaks, c.continues
 
 	c.fn.Chunks = append(c.fn.Chunks, Chunk{})
 	c.cur = len(c.fn.Chunks) - 1
+	c.nextTemp, c.maxTemp = c.fn.NumSlots, c.fn.NumSlots
 	c.lockStack = nil
 	c.loopLockBase = nil
 	c.breaks, c.continues = nil, nil
 
 	err := body()
-	c.emit(OpReturnNone, 0, 0, 0, c.src.Pos())
+	c.emit(OpReturnNone, 0, 0, 0, 0, c.src.Pos())
+	c.chunk().NumTemps = c.maxTemp - c.fn.NumSlots
 
 	c.cur = saveCur
+	c.nextTemp, c.maxTemp = saveNext, saveMax
 	c.lockStack = saveLocks
 	c.loopLockBase = saveLoopBase
 	c.breaks, c.continues = saveBreaks, saveConts
 	return err
-}
-
-// hidden2 allocates two consecutive hidden slots (sequence, index).
-func (c *fnCompiler) hidden2() int {
-	s := c.nextHidden
-	c.nextHidden += 2
-	return s
 }
 
 func (c *fnCompiler) pushLoop() {
@@ -368,67 +439,80 @@ func (c *fnCompiler) releaseLoopLocks(pos token.Pos) {
 	}
 	base := c.loopLockBase[len(c.loopLockBase)-1]
 	for i := len(c.lockStack) - 1; i >= base; i-- {
-		c.emit(OpLockRelease, c.lockStack[i], 0, 0, pos)
+		c.emit(OpLockRelease, 0, c.lockStack[i], 0, 0, pos)
 	}
 }
 
 func (c *fnCompiler) assign(s *ast.AssignStmt) error {
 	switch target := s.Target.(type) {
 	case *ast.Ident:
-		if s.Op != token.ASSIGN {
-			c.emit(OpLoad, int32(target.Slot), 0, 0, target.Pos())
+		slot := int32(target.Slot)
+		if s.Op == token.ASSIGN {
+			if needWiden(s.Value, target.Type()) {
+				// Widen via a temporary so the variable is never observed
+				// holding the unwidened int (the slot may be a shared cell).
+				r, err := c.genExpr(s.Value)
+				if err != nil {
+					return err
+				}
+				r = c.widenReg(s.Value, target.Type(), r, s.OpPos)
+				c.emit(OpMove, slot, r, 0, 0, s.Pos())
+				return nil
+			}
+			return c.genExprTo(s.Value, slot)
 		}
-		if err := c.expr(s.Value); err != nil {
+		// Augmented assignment: one arithmetic instruction reading and
+		// writing the slot — the register IR's fused load-arith-store.
+		r, err := c.genExpr(s.Value)
+		if err != nil {
 			return err
 		}
-		if s.Op != token.ASSIGN {
-			c.emit(augToOp(s.Op), 0, 0, 0, s.OpPos)
-		} else {
-			c.widen(s.Value, target.Type(), s.OpPos)
+		c.emit(augToOp(s.Op), slot, slot, r, 0, s.OpPos)
+		if target.Type().Kind() == types.Real {
+			c.emit(OpToReal, slot, slot, 0, 0, s.OpPos)
 		}
-		if s.Op != token.ASSIGN && target.Type().Kind() == types.Real {
-			c.emit(OpToReal, 0, 0, 0, s.OpPos)
-		}
-		c.emit(OpStore, int32(target.Slot), 0, 0, s.Pos())
 		return nil
 
 	case *ast.IndexExpr:
-		if err := c.expr(target.X); err != nil {
-			return err
-		}
-		if err := c.expr(target.Index); err != nil {
-			return err
-		}
 		if s.Op != token.ASSIGN {
-			// Recompute array and index for the read; the stack holds
-			// (arr, idx) — duplicate via re-evaluation, which is safe
-			// because the checker only allows simple expressions here and
-			// side effects in index expressions are calls, re-run
-			// identically. To avoid double side effects we evaluate into
-			// hidden slots instead.
-			arrSlot := c.hidden2()
-			c.emit(OpStore, int32(arrSlot+1), 0, 0, s.Pos()) // idx
-			c.emit(OpStore, int32(arrSlot), 0, 0, s.Pos())   // arr
-			c.emit(OpLoad, int32(arrSlot), 0, 0, s.Pos())
-			c.emit(OpLoad, int32(arrSlot+1), 0, 0, s.Pos())
-			c.emit(OpLoad, int32(arrSlot), 0, 0, s.Pos())
-			c.emit(OpLoad, int32(arrSlot+1), 0, 0, s.Pos())
-			c.emit(OpIndex, 0, 0, 0, s.Pos())
-			if err := c.expr(s.Value); err != nil {
+			// Augmented index assignment evaluates the array and index
+			// exactly once, into temporaries, shared by the read and the
+			// write-back.
+			arr, err := c.genExprTemp(target.X)
+			if err != nil {
 				return err
 			}
-			c.emit(augToOp(s.Op), 0, 0, 0, s.OpPos)
-			if target.Type().Kind() == types.Real {
-				c.emit(OpToReal, 0, 0, 0, s.OpPos)
+			idx, err := c.genExprTemp(target.Index)
+			if err != nil {
+				return err
 			}
-			c.emit(OpStoreIndex, 0, 0, 0, s.Pos())
+			cur := c.temp()
+			c.emit(OpIndex, cur, arr, idx, 0, s.Pos())
+			r, err := c.genExpr(s.Value)
+			if err != nil {
+				return err
+			}
+			c.emit(augToOp(s.Op), cur, cur, r, 0, s.OpPos)
+			if target.Type().Kind() == types.Real {
+				c.emit(OpToReal, cur, cur, 0, 0, s.OpPos)
+			}
+			c.emit(OpSetIndex, 0, arr, idx, cur, s.Pos())
 			return nil
 		}
-		if err := c.expr(s.Value); err != nil {
+		arr, err := c.genExpr(target.X)
+		if err != nil {
 			return err
 		}
-		c.widen(s.Value, target.Type(), s.OpPos)
-		c.emit(OpStoreIndex, 0, 0, 0, s.Pos())
+		idx, err := c.genExpr(target.Index)
+		if err != nil {
+			return err
+		}
+		r, err := c.genExpr(s.Value)
+		if err != nil {
+			return err
+		}
+		r = c.widenReg(s.Value, target.Type(), r, s.OpPos)
+		c.emit(OpSetIndex, 0, arr, idx, r, s.Pos())
 		return nil
 	}
 	return fmt.Errorf("bytecode: bad assignment target %T", s.Target)
@@ -449,87 +533,128 @@ func augToOp(k token.Kind) Op {
 	}
 }
 
-// widen emits OpToReal when a statically-int expression flows into a real
+// needWiden reports whether a statically-int expression flows into a real
 // context.
-func (c *fnCompiler) widen(e ast.Expr, dst *types.Type, pos token.Pos) {
-	if dst.Kind() == types.Real && e.Type().Kind() == types.Int {
-		c.emit(OpToReal, 0, 0, 0, pos)
-	}
+func needWiden(e ast.Expr, dst *types.Type) bool {
+	return dst.Kind() == types.Real && e.Type().Kind() == types.Int
 }
 
-func (c *fnCompiler) expr(e ast.Expr) error {
+// widenReg emits OpToReal when e (held in reg) flows into a real context,
+// returning the register holding the widened value. Owned temporaries
+// widen in place; variable slots widen into a fresh temporary so the
+// variable itself is never written.
+func (c *fnCompiler) widenReg(e ast.Expr, dst *types.Type, reg int32, pos token.Pos) int32 {
+	if !needWiden(e, dst) {
+		return reg
+	}
+	if c.isTemp(reg) {
+		c.emit(OpToReal, reg, reg, 0, 0, pos)
+		return reg
+	}
+	t := c.temp()
+	c.emit(OpToReal, t, reg, 0, 0, pos)
+	return t
+}
+
+// genExpr evaluates e and returns the register holding its value. An
+// identifier aliases its variable slot with no instruction emitted; any
+// other expression lands in a fresh temporary. Callers that need an
+// owned, writable register must use genExprTemp.
+func (c *fnCompiler) genExpr(e ast.Expr) (int32, error) {
+	if id, ok := e.(*ast.Ident); ok {
+		return int32(id.Slot), nil
+	}
+	t := c.temp()
+	if err := c.genExprTo(e, t); err != nil {
+		return 0, err
+	}
+	return t, nil
+}
+
+// genExprTemp is genExpr but always copies into an owned temporary, for
+// consumers that must capture a variable's value exactly once.
+func (c *fnCompiler) genExprTemp(e ast.Expr) (int32, error) {
+	t := c.temp()
+	if err := c.genExprTo(e, t); err != nil {
+		return 0, err
+	}
+	return t, nil
+}
+
+// genExprTo evaluates e into register dst. Subexpression temporaries are
+// released on return — only dst survives.
+func (c *fnCompiler) genExprTo(e ast.Expr, dst int32) error {
+	base := c.nextTemp
+	err := c.genExprToInner(e, dst)
+	c.nextTemp = base
+	return err
+}
+
+func (c *fnCompiler) genExprToInner(e ast.Expr, dst int32) error {
 	switch e := e.(type) {
 	case *ast.IntLit:
-		c.emit(OpConst, c.constIndex(value.NewInt(e.Value)), 0, 0, e.Pos())
+		c.emit(OpConst, dst, c.constIndex(value.NewInt(e.Value)), 0, 0, e.Pos())
 	case *ast.RealLit:
-		c.emit(OpConst, c.constIndex(value.NewReal(e.Value)), 0, 0, e.Pos())
+		c.emit(OpConst, dst, c.constIndex(value.NewReal(e.Value)), 0, 0, e.Pos())
 	case *ast.StringLit:
-		c.emit(OpConst, c.constIndex(value.NewString(e.Value)), 0, 0, e.Pos())
+		c.emit(OpConst, dst, c.constIndex(value.NewString(e.Value)), 0, 0, e.Pos())
 	case *ast.BoolLit:
-		if e.Value {
-			c.emit(OpTrue, 0, 0, 0, e.Pos())
-		} else {
-			c.emit(OpFalse, 0, 0, 0, e.Pos())
-		}
+		c.emit(OpConst, dst, c.constIndex(value.NewBool(e.Value)), 0, 0, e.Pos())
 	case *ast.Ident:
-		c.emit(OpLoad, int32(e.Slot), 0, 0, e.Pos())
+		c.emit(OpMove, dst, int32(e.Slot), 0, 0, e.Pos())
 
 	case *ast.ArrayLit:
 		elem := e.Type().Elem()
-		for _, el := range e.Elems {
-			if err := c.expr(el); err != nil {
+		base := c.tempN(len(e.Elems))
+		for i, el := range e.Elems {
+			r := base + int32(i)
+			if err := c.genExprTo(el, r); err != nil {
 				return err
 			}
-			c.widen(el, elem, el.Pos())
+			if needWiden(el, elem) {
+				c.emit(OpToReal, r, r, 0, 0, el.Pos())
+			}
 		}
-		c.emit(OpArray, int32(len(e.Elems)), c.typeIndex(elem), 0, e.Pos())
+		c.emit(OpArray, dst, base, int32(len(e.Elems)), c.typeIndex(elem), e.Pos())
 
 	case *ast.RangeLit:
-		if err := c.expr(e.Lo); err != nil {
+		lo, err := c.genExpr(e.Lo)
+		if err != nil {
 			return err
 		}
-		if err := c.expr(e.Hi); err != nil {
+		hi, err := c.genExpr(e.Hi)
+		if err != nil {
 			return err
 		}
-		c.emit(OpRange, 0, 0, 0, e.Pos())
+		c.emit(OpRange, dst, lo, hi, 0, e.Pos())
 
 	case *ast.UnaryExpr:
-		if err := c.expr(e.X); err != nil {
+		r, err := c.genExpr(e.X)
+		if err != nil {
 			return err
 		}
 		if e.Op == token.NOT {
-			c.emit(OpNot, 0, 0, 0, e.Pos())
+			c.emit(OpNot, dst, r, 0, 0, e.Pos())
 		} else {
-			c.emit(OpNeg, 0, 0, 0, e.Pos())
+			c.emit(OpNeg, dst, r, 0, 0, e.Pos())
 		}
 
 	case *ast.BinaryExpr:
-		return c.binary(e)
+		return c.binary(e, dst)
 
 	case *ast.IndexExpr:
-		if err := c.expr(e.X); err != nil {
+		x, err := c.genExpr(e.X)
+		if err != nil {
 			return err
 		}
-		if err := c.expr(e.Index); err != nil {
+		idx, err := c.genExpr(e.Index)
+		if err != nil {
 			return err
 		}
-		c.emit(OpIndex, 0, 0, 0, e.Pos())
+		c.emit(OpIndex, dst, x, idx, 0, e.Pos())
 
 	case *ast.CallExpr:
-		for i, a := range e.Args {
-			if err := c.expr(a); err != nil {
-				return err
-			}
-			if !e.IsBuiltin {
-				// Widen int args into real parameters.
-				c.widen(a, c.params[e.FuncIndex][i], a.Pos())
-			}
-		}
-		if e.IsBuiltin {
-			c.emit(OpCallBuiltin, int32(e.Builtin), int32(len(e.Args)), 0, e.Pos())
-		} else {
-			c.emit(OpCall, int32(e.FuncIndex), int32(len(e.Args)), 0, e.Pos())
-		}
+		return c.genCall(e, dst)
 
 	default:
 		return fmt.Errorf("bytecode: unsupported expression %T", e)
@@ -537,36 +662,73 @@ func (c *fnCompiler) expr(e ast.Expr) error {
 	return nil
 }
 
-func (c *fnCompiler) binary(e *ast.BinaryExpr) error {
-	// Short-circuit and/or compile to conditional jumps.
+// genCall compiles a call whose result lands in dst (-1 discards it).
+// Arguments are evaluated left to right into a block of consecutive
+// temporaries, widened in place where an int argument meets a real
+// parameter.
+func (c *fnCompiler) genCall(e *ast.CallExpr, dst int32) error {
+	base := c.nextTemp
+	argBase := c.tempN(len(e.Args))
+	for i, a := range e.Args {
+		r := argBase + int32(i)
+		if err := c.genExprTo(a, r); err != nil {
+			return err
+		}
+		if !e.IsBuiltin && needWiden(a, c.params[e.FuncIndex][i]) {
+			c.emit(OpToReal, r, r, 0, 0, a.Pos())
+		}
+	}
+	if e.IsBuiltin {
+		c.emitCall(OpCallBuiltin, dst, int32(e.Builtin), argBase, int32(len(e.Args)), e.Pos())
+	} else {
+		c.emitCall(OpCall, dst, int32(e.FuncIndex), argBase, int32(len(e.Args)), e.Pos())
+	}
+	c.nextTemp = base
+	return nil
+}
+
+// binary compiles a binary expression into dst. Short-circuit and/or
+// become conditional jumps over the right operand, with the result
+// accumulating directly in dst; everything else is one three-address
+// instruction.
+func (c *fnCompiler) binary(e *ast.BinaryExpr, dst int32) error {
 	if e.Op == token.AND || e.Op == token.OR {
-		if err := c.expr(e.X); err != nil {
+		// The left operand's value IS the result when the jump is taken,
+		// and the right operand's value otherwise — so evaluate both into
+		// the same register. dst must be an owned temporary: writing a
+		// variable slot before the right operand runs could be observed
+		// (shared frames) or read back (the right operand may mention the
+		// variable). Route through a temporary when it isn't.
+		if !c.isTemp(dst) {
+			t := c.temp()
+			if err := c.binary(e, t); err != nil {
+				return err
+			}
+			c.emit(OpMove, dst, t, 0, 0, e.Pos())
+			return nil
+		}
+		if err := c.genExprTo(e.X, dst); err != nil {
 			return err
 		}
 		var j int
 		if e.Op == token.AND {
-			j = c.emit(OpJumpIfFalse, 0, 0, 0, e.Pos())
+			j = c.emit(OpJumpIfFalse, 0, 0, dst, 0, e.Pos())
 		} else {
-			j = c.emit(OpJumpIfTrue, 0, 0, 0, e.Pos())
+			j = c.emit(OpJumpIfTrue, 0, 0, dst, 0, e.Pos())
 		}
-		if err := c.expr(e.Y); err != nil {
+		if err := c.genExprTo(e.Y, dst); err != nil {
 			return err
 		}
-		jEnd := c.emit(OpJump, 0, 0, 0, e.Pos())
 		c.patch(j)
-		if e.Op == token.AND {
-			c.emit(OpFalse, 0, 0, 0, e.Pos())
-		} else {
-			c.emit(OpTrue, 0, 0, 0, e.Pos())
-		}
-		c.patch(jEnd)
 		return nil
 	}
 
-	if err := c.expr(e.X); err != nil {
+	x, err := c.genExpr(e.X)
+	if err != nil {
 		return err
 	}
-	if err := c.expr(e.Y); err != nil {
+	y, err := c.genExpr(e.Y)
+	if err != nil {
 		return err
 	}
 	var op Op
@@ -598,48 +760,6 @@ func (c *fnCompiler) binary(e *ast.BinaryExpr) error {
 	}
 	// Record the operator's position, not the expression start, so a
 	// runtime error (division by zero) points where the interpreter points.
-	c.emit(op, 0, 0, 0, e.OpPos)
+	c.emit(op, dst, x, y, 0, e.OpPos)
 	return nil
-}
-
-// Disassemble renders a compiled function for debugging and tests.
-// Constant operands and the optimizer's fused opcodes get a trailing
-// comment spelling out their meaning.
-func Disassemble(f *Func) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "func %s (params=%d slots=%d shared=%v)\n", f.Name, f.NumParams, f.NumSlots, f.Shared)
-	for ci, ch := range f.Chunks {
-		fmt.Fprintf(&sb, " chunk %d:\n", ci)
-		for pc, ins := range ch.Code {
-			fmt.Fprintf(&sb, "  %4d %-10s %d %d %d%s\n", pc, ins.Op, ins.A, ins.B, ins.C, annotate(f, ins))
-		}
-	}
-	return sb.String()
-}
-
-// annotate explains operands that are opaque in the raw A B C rendering.
-func annotate(f *Func, ins Instr) string {
-	constStr := func(i int32) string {
-		if int(i) < len(f.Consts) {
-			c := f.Consts[i]
-			if c.K == value.Str {
-				return fmt.Sprintf("%q", c.Str())
-			}
-			return c.String()
-		}
-		return "?"
-	}
-	switch ins.Op {
-	case OpConst:
-		return "   ; push " + constStr(ins.A)
-	case OpCmpJump:
-		sense := "if-true"
-		if ins.C == 0 {
-			sense = "if-false"
-		}
-		return fmt.Sprintf("   ; %s → jump %d %s", Op(ins.B), ins.A, sense)
-	case OpArithConst:
-		return fmt.Sprintf("   ; %s const %s", Op(ins.B), constStr(ins.A))
-	}
-	return ""
 }

@@ -224,15 +224,32 @@ func TestBreakOutsideLockDoesNotRelease(t *testing.T) {
 	}
 }
 
-func TestHiddenSlotsAllocated(t *testing.T) {
+func TestForIterStateInTemps(t *testing.T) {
 	bc := compileSrc(t, `def main():
     for i in [1 .. 3]:
         print(i)
 `)
 	f := bc.Funcs[0]
-	// Slot for i plus two hidden (seq, idx).
-	if f.NumSlots < 3 {
-		t.Errorf("NumSlots = %d, want >= 3", f.NumSlots)
+	// Only i occupies a variable slot; the iteration state (seq, idx)
+	// lives in activation-private temporaries, so a for-in inside a
+	// parallel-for body can never race across iterations.
+	if f.NumSlots != 1 {
+		t.Errorf("NumSlots = %d, want 1 (just i)", f.NumSlots)
+	}
+	if f.Chunks[0].NumTemps < 2 {
+		t.Errorf("NumTemps = %d, want >= 2 (seq, idx)", f.Chunks[0].NumTemps)
+	}
+	var iter *Instr
+	for pc, ins := range f.Chunks[0].Code {
+		if ins.Op == OpForIter {
+			iter = &f.Chunks[0].Code[pc]
+		}
+	}
+	if iter == nil {
+		t.Fatal("no OpForIter emitted")
+	}
+	if int(iter.A) < f.NumSlots {
+		t.Errorf("foriter state base r%d is a variable slot; want a temp", iter.A)
 	}
 }
 
@@ -256,7 +273,7 @@ def main():
 }
 
 func TestOpStringCoverage(t *testing.T) {
-	for op := OpNop; op <= OpArithConst; op++ {
+	for op := OpNop; op <= OpCmpConstJump; op++ {
 		s := op.String()
 		if strings.HasPrefix(s, "op(") {
 			t.Errorf("opcode %d has no mnemonic", int(op))

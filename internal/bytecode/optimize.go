@@ -1,36 +1,54 @@
 package bytecode
 
-// The optimizer pipeline. Compiled chunks pass through four phases, each
-// preserving observable program behaviour exactly (output bytes, runtime
-// errors and their positions, parallel semantics):
+// The optimizer pipeline over the register IR. Compiled chunks pass
+// through five phases, each preserving observable program behaviour
+// exactly (output bytes, runtime errors and their positions, parallel
+// semantics):
 //
-//  1. constant folding    — Const/Const/op triples, unary ops on
-//                           constants, and branches on constant conditions
-//                           collapse at compile time. Folds evaluate by
-//                           calling internal/sem — the same kernels the VM
-//                           dispatches to at run time, so compile-time and
-//                           run-time results are identical by construction
-//                           — and are refused whenever the runtime would
-//                           raise (division or modulo by zero, on ints AND
-//                           reals), so the error surfaces at run time with
-//                           its position.
-//  2. jump threading      — a jump whose target is another unconditional
-//                           jump is retargeted to the final destination,
-//                           so conditional exits of nested loops do not
-//                           hop through jump chains.
-//  3. dead-code removal   — instructions unreachable from the chunk entry
-//                           (e.g. the jump emitted after a `return` inside
-//                           a conditional) are deleted, with all jump
-//                           targets remapped.
-//  4. peephole fusion     — compare+branch pairs fuse into OpCmpJump and
-//                           const+arith pairs into OpArithConst, halving
-//                           dispatch on the hottest loop shapes
-//                           (`while i < n`, `i += 1`).
+//  1. constant folding +  — a per-basic-block dataflow pass tracks which
+//     copy propagation       registers hold statically known values and
+//                            which are pure copies of other registers.
+//                            Arithmetic, comparisons, unary ops and
+//                            branches over known registers collapse at
+//                            compile time; copy reads are redirected to
+//                            the original register. Folds evaluate by
+//                            calling internal/sem — the same kernels the
+//                            VM dispatches to at run time, so compile-time
+//                            and run-time results are identical by
+//                            construction — and are refused whenever the
+//                            runtime would raise (division or modulo by
+//                            zero, on ints AND reals), so the error
+//                            surfaces at run time with its position.
+//                            Variable slots participate only in functions
+//                            without parallelism: a shared frame's slots
+//                            are cells other threads may write, and
+//                            folding them would change what a racy
+//                            program can observe.
+//  2. dead-store removal  — writes to temporaries that no path reads
+//                            before the next write are deleted (only for
+//                            instructions that cannot raise). This is
+//                            what sweeps up the constant producers phase
+//                            1 leaves behind.
+//  3. jump threading      — a jump whose target is another unconditional
+//                            jump is retargeted to the final destination.
+//  4. dead-code removal   — instructions unreachable from the chunk entry
+//                            are deleted, with all jump targets remapped.
+//  5. superinstruction    — compare+branch pairs fuse into OpCmpJump,
+//     fusion                 then a constant operand folds into
+//                            OpCmpConstJump, and const+arith pairs into
+//                            OpArithConst/OpArithConstL. With a variable
+//                            slot as both destination and source
+//                            (`i = i + 1`) the arith-const form is the
+//                            load-arith-store superinstruction: one
+//                            dispatch for what the stack IR spent five on.
+//                            Each fusion is gated by a FusionMask bit so
+//                            the benchmark harness can measure what every
+//                            superinstruction is worth on its own.
 //
 // Every phase is differentially verified: the golden corpus and the
 // cross-backend differential tests must produce byte-identical output at
-// O0 and O2 (see internal/vm's optimizer differential tests and the CI
-// step running the corpus at both levels).
+// O0, O1 and O2 (see internal/vm's optimizer differential tests and the
+// CI step running the corpus at all levels).
 
 import (
 	"repro/internal/sem"
@@ -40,34 +58,55 @@ import (
 // Optimization levels.
 const (
 	O0 = 0 // no optimization: execute exactly what the compiler emitted
-	O1 = 1 // constant folding + jump threading + dead-code elimination
-	O2 = 2 // O1 plus peephole fusion (OpCmpJump, OpArithConst)
+	O1 = 1 // folding + copy propagation + dead stores + jump threading + DCE
+	O2 = 2 // O1 plus superinstruction fusion
 
 	// DefaultLevel is what the fast path uses unless told otherwise.
 	DefaultLevel = O2
+)
+
+// FusionMask selects which superinstructions fusion may emit; the
+// benchmark harness isolates each one's contribution by masking the
+// others off. Optimize uses FuseAll.
+type FusionMask uint
+
+const (
+	FuseCmpJump    FusionMask = 1 << iota // compare + branch → OpCmpJump
+	FuseCmpConst                          // OpConst + OpCmpJump → OpCmpConstJump
+	FuseArithConst                        // OpConst + arith → OpArithConst/L
+
+	FuseAll = FuseCmpJump | FuseCmpConst | FuseArithConst
 )
 
 // Optimize runs the optimizer pipeline over every chunk of every function
 // at the given level, mutating and returning p. Level <= 0 is a no-op;
 // levels above O2 clamp to O2.
 func Optimize(p *Program, level int) *Program {
+	return OptimizeWith(p, level, FuseAll)
+}
+
+// OptimizeWith is Optimize with an explicit superinstruction mask; the
+// mask only matters at O2.
+func OptimizeWith(p *Program, level int, mask FusionMask) *Program {
 	if level <= O0 {
 		return p
 	}
 	for _, f := range p.Funcs {
 		for ci := range f.Chunks {
-			optimizeChunk(f, &f.Chunks[ci], level)
+			optimizeChunk(f, &f.Chunks[ci], level, mask)
 		}
 	}
 	return p
 }
 
-func optimizeChunk(f *Func, ch *Chunk, level int) {
-	// Folding can expose more folds (e.g. 1+2+3) and threading can expose
-	// more dead code, so iterate O1 to a fixpoint. Each round strictly
-	// shrinks the chunk or changes nothing, so termination is immediate.
+func optimizeChunk(f *Func, ch *Chunk, level int, mask FusionMask) {
+	// Folding can expose more folds (e.g. 1+2+3), dead-store removal can
+	// expose more dead stores, and threading can expose more dead code, so
+	// iterate O1 to a fixpoint. Each round strictly shrinks the chunk or
+	// changes nothing, so termination is immediate.
 	for {
 		changed := foldConstants(f, ch)
+		changed = removeDeadStores(f, ch) || changed
 		changed = threadJumps(ch) || changed
 		changed = removeDeadCode(ch) || changed
 		if !changed {
@@ -75,13 +114,21 @@ func optimizeChunk(f *Func, ch *Chunk, level int) {
 		}
 	}
 	if level >= O2 {
-		fusePeepholes(f, ch)
+		if mask&FuseCmpJump != 0 {
+			fuseCmpJump(f, ch)
+		}
+		if mask&FuseCmpConst != 0 {
+			fuseCmpConst(f, ch)
+		}
+		if mask&FuseArithConst != 0 {
+			fuseArithConst(f, ch)
+		}
 	}
 }
 
 // jumpTargets returns, for each pc, whether some instruction jumps there.
-// A folding or fusion window may only span pcs that are not entered from
-// elsewhere (except at the window's first instruction).
+// Facts must be dropped at a target (another predecessor may arrive with
+// different register contents), and fusion windows may not span one.
 func jumpTargets(ch *Chunk) []bool {
 	t := make([]bool, len(ch.Code)+1)
 	mark := func(a int32) {
@@ -91,37 +138,15 @@ func jumpTargets(ch *Chunk) []bool {
 	}
 	for _, ins := range ch.Code {
 		switch ins.Op {
-		case OpJump, OpJumpIfFalse, OpJumpIfTrue, OpCmpJump:
+		case OpJump, OpJumpIfFalse, OpJumpIfTrue:
 			mark(ins.A)
+		case OpCmpJump, OpCmpConstJump:
+			mark(ins.Dst)
 		case OpForIter:
 			mark(ins.B)
 		}
 	}
 	return t
-}
-
-// constOf reports whether ins pushes a statically known value.
-func constOf(f *Func, ins Instr) (value.Value, bool) {
-	switch ins.Op {
-	case OpConst:
-		return f.Consts[ins.A], true
-	case OpTrue:
-		return value.NewBool(true), true
-	case OpFalse:
-		return value.NewBool(false), true
-	}
-	return value.Value{}, false
-}
-
-// constInstr builds the instruction that pushes v.
-func constInstr(f *Func, v value.Value) Instr {
-	if v.K == value.Bool {
-		if v.Bool() {
-			return Instr{Op: OpTrue}
-		}
-		return Instr{Op: OpFalse}
-	}
-	return Instr{Op: OpConst, A: f.constIndex(v)}
 }
 
 // semOps maps the foldable binary opcodes to their sem operators. The
@@ -152,88 +177,292 @@ func isCompare(op Op) bool {
 	return false
 }
 
-// foldConstants rewrites constant computations in place, marking consumed
-// instructions OpNop, then compacts the chunk. Reports whether anything
-// changed.
+// foldConstants runs the per-block constant and copy tracking pass,
+// rewriting instructions in place (consumed ones become OpNop), then
+// compacts. Reports whether anything changed.
 func foldConstants(f *Func, ch *Chunk) bool {
 	targets := jumpTargets(ch)
 	code := ch.Code
 	changed := false
-	for pc := 0; pc < len(code); pc++ {
-		ins := code[pc]
-		v1, ok1 := constOf(f, ins)
-		if !ok1 {
-			continue
-		}
 
-		// Window: Const a, Const b, binop → Const (a op b).
-		if pc+2 < len(code) && !targets[pc+1] && !targets[pc+2] {
-			if v2, ok2 := constOf(f, code[pc+1]); ok2 {
-				next := code[pc+2]
-				if isArith(next.Op) || isCompare(next.Op) {
-					if v, ok := foldBinary(next.Op, v1, v2); ok {
-						code[pc] = constInstr(f, v)
-						code[pc+1] = Instr{Op: OpNop}
-						code[pc+2] = Instr{Op: OpNop}
-						changed = true
-						continue
-					}
+	// known maps a register to its statically known value; copyOf maps a
+	// register to the register it currently duplicates. Only trackable
+	// registers appear: temporaries always, variable slots only when the
+	// frame cannot be shared with another thread.
+	known := make(map[int32]value.Value)
+	copyOf := make(map[int32]int32)
+	trackable := func(r int32) bool { return int(r) >= f.NumSlots || !f.Shared }
+	// kill forgets everything involving register r, called when r is
+	// written (or may be).
+	kill := func(r int32) {
+		delete(known, r)
+		delete(copyOf, r)
+		for d, s := range copyOf {
+			if s == r {
+				delete(copyOf, d)
+			}
+		}
+	}
+	reset := func() {
+		known = make(map[int32]value.Value)
+		copyOf = make(map[int32]int32)
+	}
+	// subst redirects a read of a copy to the original register.
+	subst := func(pr *int32) {
+		if s, ok := copyOf[*pr]; ok && s != *pr {
+			*pr = s
+			changed = true
+		}
+	}
+	setConst := func(pc int, dst int32, v value.Value) {
+		code[pc] = Instr{Op: OpConst, Dst: dst, A: f.constIndex(v)}
+		kill(dst)
+		if trackable(dst) {
+			known[dst] = v
+		}
+		changed = true
+	}
+
+	for pc := 0; pc < len(code); pc++ {
+		if targets[pc] {
+			reset()
+		}
+		ins := &code[pc]
+		switch {
+		case ins.Op == OpConst:
+			v := f.Consts[ins.A]
+			kill(ins.Dst)
+			if trackable(ins.Dst) {
+				known[ins.Dst] = v
+			}
+
+		case ins.Op == OpMove:
+			subst(&ins.A)
+			if v, ok := known[ins.A]; ok {
+				setConst(pc, ins.Dst, v)
+				continue
+			}
+			kill(ins.Dst)
+			if trackable(ins.A) && trackable(ins.Dst) {
+				copyOf[ins.Dst] = ins.A
+			}
+
+		case ins.Op == OpToReal:
+			subst(&ins.A)
+			if v, ok := known[ins.A]; ok && (v.K == value.Int || v.K == value.Real) {
+				setConst(pc, ins.Dst, sem.ToReal(v))
+				continue
+			}
+			kill(ins.Dst)
+
+		case ins.Op == OpNeg:
+			subst(&ins.A)
+			if v, ok := known[ins.A]; ok {
+				if fv, fok := sem.FoldNeg(v); fok {
+					setConst(pc, ins.Dst, fv)
+					continue
 				}
 			}
-		}
+			kill(ins.Dst)
 
-		if pc+1 >= len(code) || targets[pc+1] {
-			continue
-		}
-		next := code[pc+1]
-		switch next.Op {
-		// Const, unary op → folded constant (evaluated by sem, like the VM).
-		case OpNeg:
-			v, ok := sem.FoldNeg(v1)
-			if !ok {
-				continue
+		case ins.Op == OpNot:
+			subst(&ins.A)
+			if v, ok := known[ins.A]; ok {
+				if fv, fok := sem.FoldNot(v); fok {
+					setConst(pc, ins.Dst, fv)
+					continue
+				}
 			}
-			code[pc] = constInstr(f, v)
-			code[pc+1] = Instr{Op: OpNop}
-			changed = true
-		case OpNot:
-			v, ok := sem.FoldNot(v1)
-			if !ok {
-				continue
+			kill(ins.Dst)
+
+		case isArith(ins.Op) || isCompare(ins.Op):
+			subst(&ins.A)
+			subst(&ins.B)
+			va, oka := known[ins.A]
+			vb, okb := known[ins.B]
+			if oka && okb {
+				if v, ok := foldBinary(ins.Op, va, vb); ok {
+					setConst(pc, ins.Dst, v)
+					continue
+				}
 			}
-			code[pc] = constInstr(f, v)
-			code[pc+1] = Instr{Op: OpNop}
-			changed = true
-		case OpToReal:
-			if v1.K == value.Int {
-				code[pc] = constInstr(f, sem.ToReal(v1))
-				code[pc+1] = Instr{Op: OpNop}
-				changed = true
-			} else if v1.K == value.Real {
-				code[pc+1] = Instr{Op: OpNop}
+			kill(ins.Dst)
+
+		case ins.Op == OpJumpIfFalse || ins.Op == OpJumpIfTrue:
+			subst(&ins.B)
+			if v, ok := known[ins.B]; ok && v.K == value.Bool {
+				// Constant condition → unconditional jump or fall-through.
+				// This is what turns `while true:` into a plain loop.
+				taken := v.Bool() == (ins.Op == OpJumpIfTrue)
+				if taken {
+					code[pc] = Instr{Op: OpJump, A: ins.A}
+				} else {
+					code[pc] = Instr{Op: OpNop}
+				}
 				changed = true
 			}
 
-		// Constant condition, conditional branch → unconditional jump or
-		// fall-through. This is what turns `while true:` into a plain loop.
-		case OpJumpIfFalse, OpJumpIfTrue:
-			if v1.K != value.Bool {
-				continue
+		case ins.Op == OpIndex:
+			subst(&ins.A)
+			subst(&ins.B)
+			kill(ins.Dst)
+
+		case ins.Op == OpSetIndex:
+			subst(&ins.A)
+			subst(&ins.B)
+			subst(&ins.C)
+
+		case ins.Op == OpRange:
+			subst(&ins.A)
+			subst(&ins.B)
+			kill(ins.Dst)
+
+		case ins.Op == OpArray:
+			// Element registers form a contiguous block; no per-operand
+			// substitution.
+			kill(ins.Dst)
+
+		case ins.Op == OpCall || ins.Op == OpCallBuiltin:
+			// Callees cannot touch this frame's registers: arguments pass
+			// by value and Tetra has no globals, so knowledge survives the
+			// call. Only the result register changes.
+			if ins.Dst >= 0 {
+				kill(ins.Dst)
 			}
-			taken := v1.Bool() == (next.Op == OpJumpIfTrue)
-			if taken {
-				code[pc] = Instr{Op: OpJump, A: next.A}
-			} else {
-				code[pc] = Instr{Op: OpNop}
-			}
-			code[pc+1] = Instr{Op: OpNop}
-			changed = true
+
+		case ins.Op == OpReturn:
+			subst(&ins.A)
+
+		case ins.Op == OpForIter:
+			kill(ins.Dst)
+			kill(ins.A)
+			kill(ins.A + 1)
+
+		case ins.Op == OpParFor:
+			subst(&ins.B)
+
+		case ins.Op == OpArithConst || ins.Op == OpArithConstL:
+			// Only present if fusion already ran (re-optimization).
+			kill(ins.Dst)
 		}
 	}
 	if changed {
 		compact(ch)
 	}
 	return changed
+}
+
+// deadStoreOK are the opcodes dead-store removal may delete: writes with
+// no side effects and no possible runtime error.
+func deadStoreOK(op Op) bool {
+	switch op {
+	case OpConst, OpMove, OpToReal, OpNot, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+// removeDeadStores deletes error-free writes to temporaries no path reads
+// before the next write.
+func removeDeadStores(f *Func, ch *Chunk) bool {
+	code := ch.Code
+	changed := false
+	for pc := range code {
+		ins := code[pc]
+		if !deadStoreOK(ins.Op) || int(ins.Dst) < f.NumSlots {
+			continue
+		}
+		if regLive(ch, pc+1, ins.Dst) {
+			continue
+		}
+		code[pc] = Instr{Op: OpNop}
+		changed = true
+	}
+	if changed {
+		compact(ch)
+	}
+	return changed
+}
+
+// regLive reports whether some path from pc reads register reg before
+// writing it.
+func regLive(ch *Chunk, pc int, reg int32) bool {
+	code := ch.Code
+	seen := make([]bool, len(code))
+	stack := []int{pc}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if p < 0 || p >= len(code) || seen[p] {
+			continue
+		}
+		seen[p] = true
+		ins := code[p]
+		if readsReg(ins, reg) {
+			return true
+		}
+		if writesReg(ins, reg) {
+			continue
+		}
+		for _, s := range successors(ins, p) {
+			stack = append(stack, s)
+		}
+	}
+	return false
+}
+
+// readsReg reports whether ins reads register reg.
+func readsReg(ins Instr, reg int32) bool {
+	switch ins.Op {
+	case OpMove, OpToReal, OpNeg, OpNot, OpReturn, OpArithConst, OpArithConstL, OpCmpConstJump:
+		return ins.A == reg
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe,
+		OpIndex, OpRange, OpCmpJump:
+		return ins.A == reg || ins.B == reg
+	case OpJumpIfFalse, OpJumpIfTrue, OpParFor:
+		return ins.B == reg
+	case OpSetIndex:
+		return ins.A == reg || ins.B == reg || ins.C == reg
+	case OpCall, OpCallBuiltin:
+		return reg >= ins.B && reg < ins.B+ins.C
+	case OpArray:
+		return reg >= ins.A && reg < ins.A+ins.B
+	case OpForIter:
+		return ins.A == reg || ins.A+1 == reg
+	}
+	return false
+}
+
+// writesReg reports whether ins definitely overwrites register reg.
+func writesReg(ins Instr, reg int32) bool {
+	switch ins.Op {
+	case OpConst, OpMove, OpToReal, OpNeg, OpNot,
+		OpAdd, OpSub, OpMul, OpDiv, OpMod, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe,
+		OpIndex, OpArray, OpRange, OpArithConst, OpArithConstL:
+		return ins.Dst == reg
+	case OpCall, OpCallBuiltin:
+		return ins.Dst == reg && ins.Dst >= 0
+	case OpForIter:
+		return ins.Dst == reg || ins.A == reg || ins.A+1 == reg
+	}
+	return false
+}
+
+// successors returns the pcs control can reach from ins at pc.
+func successors(ins Instr, pc int) []int {
+	switch ins.Op {
+	case OpJump:
+		return []int{int(ins.A)}
+	case OpReturn, OpReturnNone:
+		return nil
+	case OpJumpIfFalse, OpJumpIfTrue:
+		return []int{int(ins.A), pc + 1}
+	case OpCmpJump, OpCmpConstJump:
+		return []int{int(ins.Dst), pc + 1}
+	case OpForIter:
+		return []int{int(ins.B), pc + 1}
+	}
+	return []int{pc + 1}
 }
 
 // threadJumps retargets jumps whose destination is an unconditional jump,
@@ -252,9 +481,14 @@ func threadJumps(ch *Chunk) bool {
 	changed := false
 	for i, ins := range code {
 		switch ins.Op {
-		case OpJump, OpJumpIfFalse, OpJumpIfTrue, OpCmpJump:
+		case OpJump, OpJumpIfFalse, OpJumpIfTrue:
 			if nt := final(ins.A); nt != ins.A {
 				code[i].A = nt
+				changed = true
+			}
+		case OpCmpJump, OpCmpConstJump:
+			if nt := final(ins.Dst); nt != ins.Dst {
+				code[i].Dst = nt
 				changed = true
 			}
 		case OpForIter:
@@ -275,30 +509,15 @@ func removeDeadCode(ch *Chunk) bool {
 	}
 	reach := make([]bool, len(code))
 	stack := []int{0}
-	visit := func(pc int32) {
-		if pc >= 0 && int(pc) < len(code) && !reach[pc] {
-			reach[pc] = true
-			stack = append(stack, int(pc))
-		}
-	}
 	reach[0] = true
 	for len(stack) > 0 {
 		pc := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		ins := code[pc]
-		switch ins.Op {
-		case OpJump:
-			visit(ins.A)
-		case OpReturn, OpReturnNone:
-			// no successors
-		case OpJumpIfFalse, OpJumpIfTrue, OpCmpJump:
-			visit(ins.A)
-			visit(int32(pc + 1))
-		case OpForIter:
-			visit(ins.B)
-			visit(int32(pc + 1))
-		default:
-			visit(int32(pc + 1))
+		for _, s := range successors(code[pc], pc) {
+			if s >= 0 && s < len(code) && !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
 		}
 	}
 	changed := false
@@ -314,38 +533,112 @@ func removeDeadCode(ch *Chunk) bool {
 	return changed
 }
 
-// fusePeepholes merges adjacent pairs into the fused opcodes. The second
-// instruction of a pair must not be a jump target (the pair would then be
-// entered mid-window); the first may be — the fused op performs the same
-// work the plain op did at that pc.
-func fusePeepholes(f *Func, ch *Chunk) {
+// tempDeadPast reports whether temporary reg is dead on every path
+// leaving the instruction at pc (the second element of a fusion window).
+func tempDeadPast(ch *Chunk, pc int, reg int32) bool {
+	for _, s := range successors(ch.Code[pc], pc) {
+		if regLive(ch, s, reg) {
+			return false
+		}
+	}
+	return true
+}
+
+// fuseCmpJump merges a comparison with the conditional branch consuming
+// its result. The branch must not be a jump target (the pair would be
+// entered mid-window), the comparison's destination must be a temporary,
+// and that temporary must be dead past the branch.
+func fuseCmpJump(f *Func, ch *Chunk) {
 	targets := jumpTargets(ch)
 	code := ch.Code
 	changed := false
 	for pc := 0; pc+1 < len(code); pc++ {
 		ins, next := code[pc], code[pc+1]
-		if targets[pc+1] {
+		if !isCompare(ins.Op) || targets[pc+1] || int(ins.Dst) < f.NumSlots {
 			continue
 		}
-		switch {
-		// compare + conditional branch → OpCmpJump.
-		case isCompare(ins.Op) && (next.Op == OpJumpIfFalse || next.Op == OpJumpIfTrue):
-			sense := int32(0)
-			if next.Op == OpJumpIfTrue {
-				sense = 1
-			}
-			code[pc] = Instr{Op: OpCmpJump, A: next.A, B: int32(ins.Op), C: sense}
-			code[pc+1] = Instr{Op: OpNop}
-			changed = true
-		// const load + arithmetic → OpArithConst. The fused instruction
-		// keeps the arithmetic op's source position so a runtime error
-		// (division by zero) reports the operator, as at O0.
-		case ins.Op == OpConst && isArith(next.Op):
-			code[pc] = Instr{Op: OpArithConst, A: ins.A, B: int32(next.Op)}
-			ch.Pos[pc] = ch.Pos[pc+1]
-			code[pc+1] = Instr{Op: OpNop}
-			changed = true
+		if (next.Op != OpJumpIfFalse && next.Op != OpJumpIfTrue) || next.B != ins.Dst {
+			continue
 		}
+		if !tempDeadPast(ch, pc+1, ins.Dst) {
+			continue
+		}
+		sense := next.Op == OpJumpIfTrue
+		code[pc] = Instr{Op: OpCmpJump, Dst: next.A, A: ins.A, B: ins.B, C: PackCmp(ins.Op, sense)}
+		code[pc+1] = Instr{Op: OpNop}
+		changed = true
+	}
+	if changed {
+		compact(ch)
+	}
+}
+
+// fuseCmpConst folds a constant operand into an OpCmpJump produced by
+// fuseCmpJump.
+func fuseCmpConst(f *Func, ch *Chunk) {
+	targets := jumpTargets(ch)
+	code := ch.Code
+	changed := false
+	for pc := 0; pc+1 < len(code); pc++ {
+		ins, next := code[pc], code[pc+1]
+		if ins.Op != OpConst || next.Op != OpCmpJump || targets[pc+1] || int(ins.Dst) < f.NumSlots {
+			continue
+		}
+		constLeft := next.A == ins.Dst
+		constRight := next.B == ins.Dst
+		if constLeft == constRight { // neither, or both (degenerate k<k)
+			continue
+		}
+		if !tempDeadPast(ch, pc+1, ins.Dst) {
+			continue
+		}
+		cmp, sense := UnpackCmp(next.C)
+		reg := next.A
+		if constLeft {
+			reg = next.B
+		}
+		code[pc] = Instr{Op: OpCmpConstJump, Dst: next.Dst, A: reg, B: ins.A, C: PackCmpConst(cmp, constLeft, sense)}
+		ch.Pos[pc] = ch.Pos[pc+1]
+		code[pc+1] = Instr{Op: OpNop}
+		changed = true
+	}
+	if changed {
+		compact(ch)
+	}
+}
+
+// fuseArithConst folds a constant operand into the arithmetic instruction
+// consuming it: Dst = A op K (OpArithConst) or Dst = K op A
+// (OpArithConstL). The fused instruction keeps the arithmetic op's source
+// position so a runtime error (division by zero) reports the operator,
+// exactly as at O0. With a variable slot as both source and destination
+// this is the load-arith-store superinstruction of the hot loop shapes
+// (`i = i + 1`, `s = s % 1000003`).
+func fuseArithConst(f *Func, ch *Chunk) {
+	targets := jumpTargets(ch)
+	code := ch.Code
+	changed := false
+	for pc := 0; pc+1 < len(code); pc++ {
+		ins, next := code[pc], code[pc+1]
+		if ins.Op != OpConst || !isArith(next.Op) || targets[pc+1] || int(ins.Dst) < f.NumSlots {
+			continue
+		}
+		constLeft := next.A == ins.Dst
+		constRight := next.B == ins.Dst
+		if constLeft == constRight {
+			continue
+		}
+		if !tempDeadPast(ch, pc+1, ins.Dst) {
+			continue
+		}
+		if constRight {
+			code[pc] = Instr{Op: OpArithConst, Dst: next.Dst, A: next.A, B: ins.A, C: int32(next.Op)}
+		} else {
+			code[pc] = Instr{Op: OpArithConstL, Dst: next.Dst, A: next.B, B: ins.A, C: int32(next.Op)}
+		}
+		ch.Pos[pc] = ch.Pos[pc+1]
+		code[pc+1] = Instr{Op: OpNop}
+		changed = true
 	}
 	if changed {
 		compact(ch)
@@ -374,8 +667,10 @@ func compact(ch *Chunk) {
 			continue
 		}
 		switch ins.Op {
-		case OpJump, OpJumpIfFalse, OpJumpIfTrue, OpCmpJump:
+		case OpJump, OpJumpIfFalse, OpJumpIfTrue:
 			ins.A = remap[ins.A]
+		case OpCmpJump, OpCmpConstJump:
+			ins.Dst = remap[ins.Dst]
 		case OpForIter:
 			ins.B = remap[ins.B]
 		}

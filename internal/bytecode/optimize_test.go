@@ -21,9 +21,13 @@ func checkTargets(t *testing.T, bc *Program) {
 			for pc, ins := range ch.Code {
 				bad := func(a int32) bool { return a < 0 || a > n }
 				switch ins.Op {
-				case OpJump, OpJumpIfFalse, OpJumpIfTrue, OpCmpJump:
+				case OpJump, OpJumpIfFalse, OpJumpIfTrue:
 					if bad(ins.A) {
 						t.Errorf("func %d chunk %d pc %d: %s target %d out of [0,%d]", fi, ci, pc, ins.Op, ins.A, n)
+					}
+				case OpCmpJump, OpCmpConstJump:
+					if bad(ins.Dst) {
+						t.Errorf("func %d chunk %d pc %d: %s target %d out of [0,%d]", fi, ci, pc, ins.Op, ins.Dst, n)
 					}
 				case OpForIter:
 					if bad(ins.B) {
@@ -71,13 +75,21 @@ func TestFoldUnaryAndBool(t *testing.T) {
 }
 
 func TestWhileTrueBecomesPlainLoop(t *testing.T) {
-	// `while true:` compiles to push-true + jfalse per iteration; folding
-	// must remove both so the loop header is a single unconditional jump.
+	// `while true:` compiles to a const-true load + jfalse per iteration;
+	// folding must remove both so the loop header is a single unconditional
+	// jump, leaving the body's `if i > 3` branch as the only conditional.
 	src := "def main():\n    i = 0\n    while true:\n        i += 1\n        if i > 3:\n            break\n    print(i)\n"
 	bc := optimizeSrc(t, src, O1)
-	ch := bc.Funcs[bc.MainIndex].Chunks[0]
-	if n := countOps(ch, OpTrue); n != 0 {
-		t.Errorf("%d true push(es) survive in while-true loop", n)
+	f := bc.Funcs[bc.MainIndex]
+	ch := f.Chunks[0]
+	for pc, ins := range ch.Code {
+		if ins.Op == OpConst && f.Consts[ins.A].K == value.Bool {
+			t.Errorf("pc %d: bool const load survives in while-true loop", pc)
+		}
+	}
+	if n := countOps(ch, OpJumpIfFalse) + countOps(ch, OpJumpIfTrue); n != 1 {
+		t.Errorf("%d conditional jump(s) survive; want 1 (the if, not the while header):\n%s",
+			n, Disassemble(f))
 	}
 	checkTargets(t, bc)
 }
@@ -123,13 +135,17 @@ func TestFusionOnlyAtO2(t *testing.T) {
 	src := "def main():\n    i = 0\n    while i < 10:\n        i += 1\n    print(i)\n"
 	bc1 := optimizeSrc(t, src, O1)
 	ch1 := bc1.Funcs[bc1.MainIndex].Chunks[0]
-	if countOps(ch1, OpCmpJump)+countOps(ch1, OpArithConst) != 0 {
+	fused := func(ch Chunk) int {
+		return countOps(ch, OpCmpJump) + countOps(ch, OpCmpConstJump) +
+			countOps(ch, OpArithConst) + countOps(ch, OpArithConstL)
+	}
+	if fused(ch1) != 0 {
 		t.Error("fused opcodes emitted at O1")
 	}
 	bc2 := optimizeSrc(t, src, O2)
 	ch2 := bc2.Funcs[bc2.MainIndex].Chunks[0]
-	if countOps(ch2, OpCmpJump) == 0 {
-		t.Errorf("no cmpjump at O2 for a compare-headed while loop:\n%s", Disassemble(bc2.Funcs[bc2.MainIndex]))
+	if countOps(ch2, OpCmpJump)+countOps(ch2, OpCmpConstJump) == 0 {
+		t.Errorf("no fused compare-jump at O2 for a compare-headed while loop:\n%s", Disassemble(bc2.Funcs[bc2.MainIndex]))
 	}
 	if countOps(ch2, OpArithConst) == 0 {
 		t.Errorf("no arithconst at O2 for i += 1:\n%s", Disassemble(bc2.Funcs[bc2.MainIndex]))

@@ -240,11 +240,11 @@ func TestDisasmRespectsOptLevel(t *testing.T) {
 	path := write(t, "def main():\n    i = 0\n    while i < 10:\n        i += 1\n    print(i)\n")
 	_, raw, _ := run(t, []string{"-disasm", "-O", "0", path}, "")
 	_, opt, _ := run(t, []string{"-disasm", "-O", "2", path}, "")
-	if !strings.Contains(raw, "lt") || strings.Contains(raw, "cmpjump") {
+	if !strings.Contains(raw, "lt") || strings.Contains(raw, "cmpjump") || strings.Contains(raw, "cmpkjump") {
 		t.Errorf("-O 0 disassembly should show raw compare, no fusion:\n%s", raw)
 	}
-	if !strings.Contains(opt, "cmpjump") {
-		t.Errorf("-O 2 disassembly missing fused cmpjump:\n%s", opt)
+	if !strings.Contains(opt, "cmpjump") && !strings.Contains(opt, "cmpkjump") {
+		t.Errorf("-O 2 disassembly missing fused compare-jump:\n%s", opt)
 	}
 	if len(opt) >= len(raw) {
 		t.Errorf("optimized disassembly not shorter: %d vs %d bytes", len(opt), len(raw))

@@ -38,9 +38,22 @@ type CompileCache struct {
 	perKey map[[sha256.Size]byte]uint64
 }
 
+// bcKey keys the bytecode table. Alongside the source hash and
+// optimization level it carries the bytecode IR version: a long-running
+// process that persists across an IR change (or an embedder that seeds the
+// cache from elsewhere) must never replay bytecode compiled under an older
+// instruction encoding on a newer VM. An entry written under a different
+// IRVersion simply misses and the source is recompiled.
 type bcKey struct {
 	hash  [sha256.Size]byte
 	level int
+	ir    int
+}
+
+// newBCKey builds the lookup/store key for (file, src) at one level under
+// the current IR version.
+func newBCKey(file, src string, level int) bcKey {
+	return bcKey{hash: sourceKey(file, src), level: level, ir: bytecode.IRVersion}
 }
 
 // DefaultCacheEntries bounds a cache built with NewCompileCache(0).
@@ -119,7 +132,7 @@ func (c *CompileCache) PeekAST(file, src string) bool {
 
 // PeekBytecode is PeekAST for the bytecode table at one optimization level.
 func (c *CompileCache) PeekBytecode(file, src string, level int) bool {
-	key := bcKey{hash: sourceKey(file, src), level: level}
+	key := newBCKey(file, src, level)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	_, ok := c.bcs[key]
@@ -164,7 +177,7 @@ func (c *CompileCache) Compile(file, src string) (*ast.Program, error) {
 // optimization level through the cache, memoizing both the checked AST and
 // the optimized bytecode.
 func (c *CompileCache) CompileBytecode(file, src string, level int) (*bytecode.Program, error) {
-	key := bcKey{hash: sourceKey(file, src), level: level}
+	key := newBCKey(file, src, level)
 	c.mu.Lock()
 	if bc, ok := c.bcs[key]; ok {
 		c.hitLocked(key.hash)

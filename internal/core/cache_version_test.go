@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bytecode"
+)
+
+// The bytecode table is keyed by IR version: an entry compiled under an
+// older instruction encoding must never be replayed by a newer VM. These
+// tests seed the table with old-version keys directly (the cache is
+// in-process, so this models a long-running service surviving an IR bump,
+// or an embedder seeding entries from elsewhere).
+
+func TestBytecodeCacheMissesOnOldIRVersion(t *testing.T) {
+	c := NewCompileCache(8)
+	src := "def main():\n    print(42)\n"
+
+	// A sentinel program stored under the previous IR version. If the
+	// cache ever returns it, the lookup ignored the version field.
+	stale := &bytecode.Program{MainIndex: -1}
+	oldKey := newBCKey("a.ttr", src, bytecode.O2)
+	oldKey.ir = bytecode.IRVersion - 1
+	c.mu.Lock()
+	c.bcs[oldKey] = stale
+	c.mu.Unlock()
+
+	if c.PeekBytecode("a.ttr", src, bytecode.O2) {
+		t.Fatal("Peek claims a hit for an entry stored under the old IR version")
+	}
+	bc, err := c.CompileBytecode("a.ttr", src, bytecode.O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc == stale || bc.MainIndex < 0 {
+		t.Fatal("cache served bytecode compiled under the old IR version")
+	}
+
+	// The recompile stored a fresh entry under the current version; the
+	// stale one is still keyed separately and still never served.
+	if !c.PeekBytecode("a.ttr", src, bytecode.O2) {
+		t.Error("recompiled bytecode not cached under the current IR version")
+	}
+	bc2, err := c.CompileBytecode("a.ttr", src, bytecode.O2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc2 != bc {
+		t.Error("warm lookup under the current IR version missed")
+	}
+}
+
+func TestBytecodeCacheKeyCarriesCurrentIRVersion(t *testing.T) {
+	key := newBCKey("a.ttr", "def main():\n    pass\n", bytecode.O0)
+	if key.ir != bytecode.IRVersion {
+		t.Errorf("key.ir = %d, want current IRVersion %d", key.ir, bytecode.IRVersion)
+	}
+}

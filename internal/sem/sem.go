@@ -229,6 +229,49 @@ func Compare(op Op, l, r value.Value) bool {
 	}
 }
 
+// ArithInt is the int-int arithmetic kernel, shaped to inline into
+// backend dispatch loops (Arith itself is too large for the inliner, and
+// the register VM's hot loops are dominated by these five operators on
+// ints). It implements exactly Arith's int column: Go-native truncating
+// division and wraparound. Callers must have checked both operands are
+// ints and, for Div and Mod, that b is nonzero — on a zero divisor they
+// must fall back to Arith so the canonical positioned error (which lives
+// only there) is raised.
+func ArithInt(op Op, a, b int64) int64 {
+	switch op {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	case Div:
+		return a / b
+	default:
+		return a % b
+	}
+}
+
+// CompareInt is the int-int comparison kernel, inlinable like ArithInt.
+// It implements exactly Compare's int column. Callers must have checked
+// both operands are ints.
+func CompareInt(op Op, a, b int64) bool {
+	switch op {
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Gt:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
 // Binary evaluates any binary operator: comparisons yield bool values,
 // arithmetic follows Arith.
 func Binary(op Op, l, r value.Value) (value.Value, error) {

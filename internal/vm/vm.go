@@ -1,4 +1,4 @@
-// Package vm executes Tetra bytecode (internal/bytecode) — the
+// Package vm executes Tetra register bytecode (internal/bytecode) — the
 // reproduction's stand-in for the paper's planned native-code compiler
 // (§VI). It keeps the interpreter's parallel runtime semantics exactly:
 // parallel chunks run on goroutines sharing the enclosing frame's cells,
@@ -6,6 +6,32 @@
 // are not joined before the spawning statement continues (though Run joins
 // them before returning, like the interpreter), and lock instructions hit a
 // named lock table whose waiters park interruptibly (see lockTable).
+//
+// # Register frames
+//
+// An activation's registers split in two: variable slots [0, NumSlots)
+// and chunk temporaries above them. A function with no parallel
+// constructs gets one flat value array for both — no cells, no locking,
+// no indirection — because no other thread can ever see its frame. A
+// function containing parallelism keeps one mutex-guarded cell per
+// variable slot (threads of a `parallel` block share them; `parallel
+// for` gives each iteration a private cell for the induction slot), while
+// temporaries remain a plain per-activation array even then: the compiler
+// guarantees temporaries never cross a chunk boundary, so concurrent
+// chunks each own theirs outright.
+//
+// # Inline caches
+//
+// Every call instruction carries a program-wide site id. The VM keeps a
+// monomorphic inline-cache entry per site holding the resolved callee
+// (function or builtin), stamped with the VM's redefinition generation.
+// A hit costs one atomic load and a generation compare — no lock, no
+// table lookup; Rebind (redefining a function on a live VM) bumps the
+// generation, instantly invalidating every site. The protocol reads the
+// generation before the slow-path table lookup, so a racing rebind can
+// only ever produce an entry stamped with an outdated generation — which
+// the next dispatch re-resolves. A stale callee is never served past the
+// rebind's own synchronization point.
 //
 // The VM intentionally omits the step hook, tracer, and deadlock/race
 // tooling: those belong to the development path (the interpreter, which the
@@ -52,6 +78,16 @@ type Options struct {
 	Sched sched.Config
 }
 
+// callIC is one monomorphic inline-cache entry: the callee a call site
+// resolved to, stamped with the redefinition generation it was resolved
+// under. Exactly one of fn/b is set.
+type callIC struct {
+	gen     uint32
+	fn      *bytecode.Func
+	b       *stdlib.Builtin
+	returns bool // builtin produces a value
+}
+
 // VM executes one compiled program.
 type VM struct {
 	prog *bytecode.Program
@@ -62,6 +98,17 @@ type VM struct {
 	nextThread atomic.Int64
 	background sync.WaitGroup
 
+	// funcs is the VM's rebindable view of prog.Funcs; funcMu guards it
+	// (and byName) against Rebind. The common case never takes the lock —
+	// call sites hit their inline cache.
+	funcMu sync.RWMutex
+	funcs  []*bytecode.Func
+	byName map[string]int
+	// gen counts redefinitions; an inline-cache entry is valid only while
+	// its stamp matches.
+	gen atomic.Uint32
+	ics []atomic.Pointer[callIC]
+
 	stopped atomic.Bool
 	errMu   sync.Mutex
 	err     error
@@ -70,12 +117,44 @@ type VM struct {
 // New returns a VM for the compiled program.
 func New(prog *bytecode.Program, opts Options) *VM {
 	m := &VM{prog: prog, opts: opts, guard: opts.Guard, locks: newLockTable(prog.LockNames)}
+	m.funcs = make([]*bytecode.Func, len(prog.Funcs))
+	copy(m.funcs, prog.Funcs)
+	m.byName = make(map[string]int, len(prog.Funcs))
+	for i, f := range prog.Funcs {
+		m.byName[f.Name] = i
+	}
+	m.ics = make([]atomic.Pointer[callIC], prog.NumSites)
 	if m.guard != nil {
 		// A trip must wake threads parked on a lock so they observe the
 		// trip and unwind, mirroring the interpreter's registry contract.
 		m.guard.OnTrip(m.locks.wake)
 	}
 	return m
+}
+
+// Rebind replaces the function named name on this VM with fn, for
+// embedders that hot-swap code on a live VM. The replacement must match
+// the original's arity and result type — call sites compiled against the
+// old signature stay valid. Every inline cache is invalidated atomically
+// by bumping the generation; in-flight calls that already entered the old
+// body finish it (the swap is a redefinition, not a preemption).
+func (m *VM) Rebind(name string, fn *bytecode.Func) error {
+	m.funcMu.Lock()
+	defer m.funcMu.Unlock()
+	idx, ok := m.byName[name]
+	if !ok {
+		return fmt.Errorf("no function named %s", name)
+	}
+	old := m.funcs[idx]
+	if fn.NumParams != old.NumParams {
+		return fmt.Errorf("rebind %s: arity mismatch (have %d parameters, want %d)", name, fn.NumParams, old.NumParams)
+	}
+	if (fn.Result == nil) != (old.Result == nil) || (fn.Result != nil && !types.Equal(fn.Result, old.Result)) {
+		return fmt.Errorf("rebind %s: result type mismatch", name)
+	}
+	m.funcs[idx] = fn
+	m.gen.Add(1)
+	return nil
 }
 
 // Run executes the program's main function.
@@ -90,7 +169,7 @@ func (m *VM) Run() error {
 		defer m.guard.ThreadDone()
 	}
 	t := m.newThread()
-	_, err := t.call(m.prog.Funcs[m.prog.MainIndex], nil)
+	_, err := t.call(m.funcs[m.prog.MainIndex], nil)
 	m.setErr(err)
 	if !m.opts.NoWaitBackground {
 		m.joinBackground()
@@ -111,13 +190,13 @@ func (m *VM) joinBackground() {
 
 // Call invokes a named function with the given arguments.
 func (m *VM) Call(name string, args ...value.Value) (value.Value, error) {
+	m.funcMu.RLock()
+	idx, ok := m.byName[name]
 	var fn *bytecode.Func
-	for _, f := range m.prog.Funcs {
-		if f.Name == name {
-			fn = f
-			break
-		}
+	if ok {
+		fn = m.funcs[idx]
 	}
+	m.funcMu.RUnlock()
 	if fn == nil {
 		return value.Value{}, fmt.Errorf("no function named %s", name)
 	}
@@ -189,44 +268,95 @@ func (m *VM) newThread() *thread {
 	return t
 }
 
-// frame is a function activation. As in the interpreter, cells are
-// individually lockable; frames of functions without parallel constructs
-// use the unlocked path.
+// frame is a function activation. Functions without parallel constructs
+// keep every register in one flat array (flat != nil); functions with
+// parallelism keep one lockable cell per variable slot, and each chunk
+// activation gets its own temporary array (see regFile).
 type frame struct {
-	fn     *bytecode.Func
-	cells  []*value.Cell
-	shared bool
+	fn    *bytecode.Func
+	flat  []value.Value // non-shared: NumSlots + body NumTemps registers
+	cells []*value.Cell // shared: one cell per variable slot
 }
 
 func newFrame(fn *bytecode.Func) *frame {
+	if !fn.Shared {
+		return &frame{fn: fn, flat: make([]value.Value, fn.NumSlots+fn.Chunks[0].NumTemps)}
+	}
 	backing := make([]value.Cell, fn.NumSlots)
 	cells := make([]*value.Cell, fn.NumSlots)
 	for i := range backing {
 		cells[i] = &backing[i]
 	}
-	return &frame{fn: fn, cells: cells, shared: fn.Shared}
+	return &frame{fn: fn, cells: cells}
 }
 
+// fork gives a parallel-for iteration a frame view whose induction slot
+// is a private cell; all other slots stay shared.
 func (f *frame) fork(slot int, v value.Value) *frame {
 	cells := make([]*value.Cell, len(f.cells))
 	copy(cells, f.cells)
 	cells[slot] = value.NewCell(v)
-	return &frame{fn: f.fn, cells: cells, shared: true}
+	return &frame{fn: f.fn, cells: cells}
 }
 
-func (f *frame) load(slot int32) value.Value {
-	if f.shared {
-		return f.cells[slot].Load()
+// regFile is one chunk activation's register accessor. For flat frames
+// every register indexes one array; for shared frames, variable slots go
+// through cells and temporaries through the activation-private array.
+type regFile struct {
+	flat  []value.Value
+	cells []*value.Cell
+	temps []value.Value
+	nv    int32
+}
+
+// get/set keep the flat-frame path small enough for the compiler to
+// inline into the dispatch loop — sequential functions pay one nil check
+// and one bounds-checked index per operand. The shared-frame path is
+// split out so its size does not disqualify the fast path from inlining.
+func (r *regFile) get(i int32) value.Value {
+	if r.cells == nil {
+		return r.flat[i]
 	}
-	return f.cells[slot].LoadLocal()
+	return r.getShared(i)
 }
 
-func (f *frame) store(slot int32, v value.Value) {
-	if f.shared {
-		f.cells[slot].Store(v)
+func (r *regFile) set(i int32, v value.Value) {
+	if r.cells == nil {
+		r.flat[i] = v
 		return
 	}
-	f.cells[slot].StoreLocal(v)
+	r.setShared(i, v)
+}
+
+//go:noinline
+func (r *regFile) getShared(i int32) value.Value {
+	if i < r.nv {
+		return r.cells[i].Load()
+	}
+	return r.temps[i-r.nv]
+}
+
+//go:noinline
+func (r *regFile) setShared(i int32, v value.Value) {
+	if i < r.nv {
+		r.cells[i].Store(v)
+		return
+	}
+	r.temps[i-r.nv] = v
+}
+
+// slice returns the n consecutive registers starting at base as a
+// directly-readable slice. The compiler only emits block operands
+// (call arguments, array elements) in the temporary region, which is
+// activation-private even in shared frames, so no locking is needed.
+func (r *regFile) slice(base, n int32) []value.Value {
+	if n == 0 {
+		return nil
+	}
+	if r.cells == nil {
+		return r.flat[base : base+n]
+	}
+	return r.temps[base-r.nv : base-r.nv+n]
 }
 
 func rtErr(pos token.Pos, format string, args ...any) error {
@@ -321,8 +451,12 @@ func (t *thread) call(fn *bytecode.Func, args []value.Value) (value.Value, error
 	defer func() { t.depth-- }()
 
 	f := newFrame(fn)
-	for i := range args {
-		f.store(int32(i), args[i])
+	if f.flat != nil {
+		copy(f.flat, args)
+	} else {
+		for i := range args {
+			f.cells[i].Store(args[i])
+		}
 	}
 	returned, v, err := t.exec(&fn.Chunks[0], f)
 	if err != nil {
@@ -337,16 +471,26 @@ func (t *thread) call(fn *bytecode.Func, args []value.Value) (value.Value, error
 	return value.Value{}, nil
 }
 
+// resolveFunc is the call-site slow path: look the callee up under the
+// lock and publish a fresh inline-cache entry. gen was loaded BEFORE the
+// table read — see the package comment for why that ordering is what
+// makes a stale entry impossible.
+func (m *VM) resolveFunc(site, idx int32, gen uint32) *bytecode.Func {
+	m.funcMu.RLock()
+	fn := m.funcs[idx]
+	m.funcMu.RUnlock()
+	m.ics[site].Store(&callIC{gen: gen, fn: fn})
+	return fn
+}
+
 // exec runs one chunk to completion. It reports whether an OpReturn
 // delivered a value (true) as opposed to falling off via OpReturnNone.
 func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
-	var stack []value.Value
-	push := func(v value.Value) { stack = append(stack, v) }
-	pop := func() value.Value {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		return v
+	rf := regFile{flat: f.flat, cells: f.cells, nv: int32(f.fn.NumSlots)}
+	if rf.cells != nil && ch.NumTemps > 0 {
+		rf.temps = make([]value.Value, ch.NumTemps)
 	}
+	consts := f.fn.Consts
 
 	g := t.vm.guard
 	code := ch.Code
@@ -368,24 +512,20 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 		case bytecode.OpNop:
 
 		case bytecode.OpConst:
-			push(f.fn.Consts[ins.A])
-		case bytecode.OpTrue:
-			push(value.NewBool(true))
-		case bytecode.OpFalse:
-			push(value.NewBool(false))
-
-		case bytecode.OpLoad:
-			push(f.load(ins.A))
-		case bytecode.OpStore:
-			f.store(ins.A, pop())
-		case bytecode.OpPop:
-			pop()
+			rf.set(ins.Dst, consts[ins.A])
+		case bytecode.OpMove:
+			rf.set(ins.Dst, rf.get(ins.A))
 		case bytecode.OpToReal:
-			push(sem.ToReal(pop()))
+			rf.set(ins.Dst, sem.ToReal(rf.get(ins.A)))
 
 		case bytecode.OpAdd, bytecode.OpSub, bytecode.OpMul, bytecode.OpDiv, bytecode.OpMod:
-			r := pop()
-			l := pop()
+			l, r := rf.get(ins.A), rf.get(ins.B)
+			if l.K == value.Int && r.K == value.Int && (ins.Op < bytecode.OpDiv || r.Int() != 0) {
+				// Hot path: sem's inlinable int kernel. Zero divisors fall
+				// through to sem.Arith, which owns the canonical error.
+				rf.set(ins.Dst, value.NewInt(sem.ArithInt(semOp(ins.Op), l.Int(), r.Int())))
+				continue
+			}
 			v, err := sem.Arith(semOp(ins.Op), l, r)
 			if err != nil {
 				return false, value.Value{}, sem.At(err, ch.Pos[pc].String())
@@ -396,12 +536,21 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 					return false, value.Value{}, g.ErrAt(k, ch.Pos[pc].String())
 				}
 			}
-			push(v)
+			rf.set(ins.Dst, v)
 
-		case bytecode.OpArithConst:
-			// Fused const+arith (optimizer): rhs comes from the pool.
-			l := pop()
-			v, err := sem.Arith(semOp(bytecode.Op(ins.B)), l, f.fn.Consts[ins.A])
+		case bytecode.OpArithConst, bytecode.OpArithConstL:
+			// Fused const+arith (optimizer): one operand comes from the pool.
+			l := rf.get(ins.A)
+			r := consts[ins.B]
+			if ins.Op == bytecode.OpArithConstL {
+				l, r = r, l
+			}
+			aop := bytecode.Op(ins.C)
+			if l.K == value.Int && r.K == value.Int && (aop < bytecode.OpDiv || r.Int() != 0) {
+				rf.set(ins.Dst, value.NewInt(sem.ArithInt(semOp(aop), l.Int(), r.Int())))
+				continue
+			}
+			v, err := sem.Arith(semOp(aop), l, r)
 			if err != nil {
 				return false, value.Value{}, sem.At(err, ch.Pos[pc].String())
 			}
@@ -410,17 +559,20 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 					return false, value.Value{}, g.ErrAt(k, ch.Pos[pc].String())
 				}
 			}
-			push(v)
+			rf.set(ins.Dst, v)
 
 		case bytecode.OpNeg:
-			push(sem.Neg(pop()))
+			rf.set(ins.Dst, sem.Neg(rf.get(ins.A)))
 		case bytecode.OpNot:
-			push(sem.Not(pop()))
+			rf.set(ins.Dst, sem.Not(rf.get(ins.A)))
 
 		case bytecode.OpEq, bytecode.OpNe, bytecode.OpLt, bytecode.OpLe, bytecode.OpGt, bytecode.OpGe:
-			r := pop()
-			l := pop()
-			push(value.NewBool(sem.Compare(semOp(ins.Op), l, r)))
+			l, r := rf.get(ins.A), rf.get(ins.B)
+			if l.K == value.Int && r.K == value.Int {
+				rf.set(ins.Dst, value.NewBool(sem.CompareInt(semOp(ins.Op), l.Int(), r.Int())))
+				continue
+			}
+			rf.set(ins.Dst, value.NewBool(sem.Compare(semOp(ins.Op), l, r)))
 
 		case bytecode.OpJump:
 			// A backward jump is a loop back-edge: re-check the stop flag
@@ -432,14 +584,14 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 		case bytecode.OpJumpIfFalse:
 			// Jump threading can turn conditional jumps into back-edges, so
 			// taken backward branches re-check the stop flag too.
-			if !pop().Bool() {
+			if !rf.get(ins.B).Bool() {
 				if int(ins.A) <= pc && t.vm.stopped.Load() {
 					return false, value.Value{}, errStopped
 				}
 				pc = int(ins.A) - 1
 			}
 		case bytecode.OpJumpIfTrue:
-			if pop().Bool() {
+			if rf.get(ins.B).Bool() {
 				if int(ins.A) <= pc && t.vm.stopped.Load() {
 					return false, value.Value{}, errStopped
 				}
@@ -449,85 +601,111 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 		case bytecode.OpCmpJump:
 			// Fused compare+branch (optimizer): jump when the comparison
 			// matches the recorded sense.
-			r := pop()
-			l := pop()
-			if sem.Compare(semOp(bytecode.Op(ins.B)), l, r) == (ins.C != 0) {
-				if int(ins.A) <= pc && t.vm.stopped.Load() {
+			cmp, sense := bytecode.UnpackCmp(ins.C)
+			l, r := rf.get(ins.A), rf.get(ins.B)
+			var taken bool
+			if l.K == value.Int && r.K == value.Int {
+				taken = sem.CompareInt(semOp(cmp), l.Int(), r.Int()) == sense
+			} else {
+				taken = sem.Compare(semOp(cmp), l, r) == sense
+			}
+			if taken {
+				if int(ins.Dst) <= pc && t.vm.stopped.Load() {
 					return false, value.Value{}, errStopped
 				}
-				pc = int(ins.A) - 1
+				pc = int(ins.Dst) - 1
+			}
+
+		case bytecode.OpCmpConstJump:
+			// Doubly fused: compare+branch with a pooled constant operand.
+			cmp, constLeft, sense := bytecode.UnpackCmpConst(ins.C)
+			l := rf.get(ins.A)
+			r := consts[ins.B]
+			if constLeft {
+				l, r = r, l
+			}
+			var taken bool
+			if l.K == value.Int && r.K == value.Int {
+				taken = sem.CompareInt(semOp(cmp), l.Int(), r.Int()) == sense
+			} else {
+				taken = sem.Compare(semOp(cmp), l, r) == sense
+			}
+			if taken {
+				if int(ins.Dst) <= pc && t.vm.stopped.Load() {
+					return false, value.Value{}, errStopped
+				}
+				pc = int(ins.Dst) - 1
 			}
 
 		case bytecode.OpCall:
 			if t.vm.stopped.Load() {
 				return false, value.Value{}, errStopped
 			}
-			n := int(ins.B)
-			args := make([]value.Value, n)
-			copy(args, stack[len(stack)-n:])
-			stack = stack[:len(stack)-n]
-			fn := t.vm.prog.Funcs[ins.A]
-			v, err := t.call(fn, args)
+			// Inline-cache dispatch: generation first, then the entry.
+			gen := t.vm.gen.Load()
+			var fn *bytecode.Func
+			if ic := t.vm.ics[ins.S].Load(); ic != nil && ic.gen == gen {
+				fn = ic.fn
+			} else {
+				fn = t.vm.resolveFunc(ins.S, ins.A, gen)
+			}
+			v, err := t.call(fn, rf.slice(ins.B, ins.C))
 			if err != nil {
 				return false, value.Value{}, err
 			}
-			if fn.Result != nil {
-				push(v)
+			if ins.Dst >= 0 && fn.Result != nil {
+				rf.set(ins.Dst, v)
 			}
 
 		case bytecode.OpCallBuiltin:
-			n := int(ins.B)
-			args := make([]value.Value, n)
-			copy(args, stack[len(stack)-n:])
-			stack = stack[:len(stack)-n]
-			b := stdlib.ByID(int(ins.A))
-			v, err := b.Eval(t.vm.opts.Env, args)
+			// Builtins are immutable, so their cache entries never
+			// invalidate; the entry saves the id lookup and the
+			// returns-a-value test.
+			ic := t.vm.ics[ins.S].Load()
+			if ic == nil {
+				b := stdlib.ByID(int(ins.A))
+				ic = &callIC{b: b, returns: builtinReturns(int(ins.A))}
+				t.vm.ics[ins.S].Store(ic)
+			}
+			v, err := ic.b.Eval(t.vm.opts.Env, rf.slice(ins.B, ins.C))
 			if err != nil {
 				return false, value.Value{}, rtErr(ch.Pos[pc], "%v", err)
 			}
-			// Push only when the call produces a value; the compiler emits
-			// OpPop after value-producing calls in statement position.
-			if builtinReturns(int(ins.A)) {
-				push(v)
+			if ins.Dst >= 0 && ic.returns {
+				rf.set(ins.Dst, v)
 			}
 
 		case bytecode.OpReturn:
-			return true, pop(), nil
+			return true, rf.get(ins.A), nil
 		case bytecode.OpReturnNone:
 			return false, value.Value{}, nil
 
 		case bytecode.OpIndex:
-			idx := pop()
-			x := pop()
-			v, err := sem.Index(x, idx.Int())
+			v, err := sem.Index(rf.get(ins.A), rf.get(ins.B).Int())
 			if err != nil {
 				return false, value.Value{}, sem.At(err, ch.Pos[pc].String())
 			}
-			push(v)
+			rf.set(ins.Dst, v)
 
-		case bytecode.OpStoreIndex:
-			v := pop()
-			idx := pop()
-			x := pop()
-			if err := sem.SetIndex(x, idx.Int(), v); err != nil {
+		case bytecode.OpSetIndex:
+			if err := sem.SetIndex(rf.get(ins.A), rf.get(ins.B).Int(), rf.get(ins.C)); err != nil {
 				return false, value.Value{}, sem.At(err, ch.Pos[pc].String())
 			}
 
 		case bytecode.OpArray:
-			n := int(ins.A)
+			n := int(ins.B)
 			if g != nil {
 				if k := g.AddAlloc(int64(n)); k != guard.OK {
 					return false, value.Value{}, g.ErrAt(k, ch.Pos[pc].String())
 				}
 			}
 			elems := make([]value.Value, n)
-			copy(elems, stack[len(stack)-n:])
-			stack = stack[:len(stack)-n]
-			push(value.NewArray(value.FromSlice(f.fn.Types[ins.B], elems)))
+			copy(elems, rf.slice(ins.A, ins.B))
+			rf.set(ins.Dst, value.NewArray(value.FromSlice(f.fn.Types[ins.C], elems)))
 
 		case bytecode.OpRange:
-			hi := pop()
-			lo := pop()
+			lo := rf.get(ins.A)
+			hi := rf.get(ins.B)
 			n, rerr := sem.RangeLen(lo.Int(), hi.Int())
 			if rerr != nil {
 				return false, value.Value{}, sem.At(rerr, ch.Pos[pc].String())
@@ -541,28 +719,28 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 			for i := int64(0); i < n; i++ {
 				elems[i] = value.NewInt(lo.Int() + i)
 			}
-			push(value.NewArray(value.FromSlice(types.IntType, elems)))
+			rf.set(ins.Dst, value.NewArray(value.FromSlice(types.IntType, elems)))
 
 		case bytecode.OpForIter:
 			if t.vm.stopped.Load() {
 				return false, value.Value{}, errStopped
 			}
-			seq := f.load(ins.A)
-			idx := f.load(ins.A + 1).Int()
+			seq := rf.get(ins.A)
+			idx := rf.get(ins.A + 1).Int()
 			if seq.K == value.Str {
-				// Materialize the string's Unicode characters once, into
-				// the compiler-synthesized hidden slot, so iteration is
-				// rune-correct without per-step decoding.
+				// Materialize the string's Unicode characters once, in the
+				// loop-state temporary, so iteration is rune-correct without
+				// per-step decoding.
 				seq = value.NewArray(sem.RunesArray(seq.Str()))
-				f.store(ins.A, seq)
+				rf.set(ins.A, seq)
 			}
 			a := seq.Array()
 			if idx >= int64(a.Len()) {
 				pc = int(ins.B) - 1
 				break
 			}
-			f.store(ins.C, a.Get(int(idx)))
-			f.store(ins.A+1, value.NewInt(idx+1))
+			rf.set(ins.Dst, a.Get(int(idx)))
+			rf.set(ins.A+1, value.NewInt(idx+1))
 
 		case bytecode.OpParallel:
 			var wg sync.WaitGroup
@@ -612,7 +790,7 @@ func (t *thread) exec(ch *bytecode.Chunk, f *frame) (bool, value.Value, error) {
 			// goroutines claim contiguous index chunks; every iteration
 			// still executes as its own Tetra thread with a private
 			// induction cell. The thread budget is charged per worker.
-			seq := pop()
+			seq := rf.get(ins.B)
 			sub := &f.fn.Chunks[ins.A]
 			elems := sem.Elements(seq)
 			workers, loop := t.vm.opts.Sched.Loop(elems.Len())

@@ -319,7 +319,7 @@ func TestRandomProgramDifferential(t *testing.T) {
 func TestDisassembleSmoke(t *testing.T) {
 	_, bc := compileBoth(t, "def main():\n    x = 1\n    print(x + 2)\n")
 	text := bytecode.Disassemble(bc.Funcs[0])
-	for _, want := range []string{"func main", "const", "store", "load", "add", "callb"} {
+	for _, want := range []string{"func main", "const", "add", "callb", "r0=x", "ic site"} {
 		if !strings.Contains(text, want) {
 			t.Errorf("disassembly missing %q:\n%s", want, text)
 		}
