@@ -38,6 +38,11 @@
 //	          (create → terminal SSE frame), step-command round trips,
 //	          trace-frame throughput through the capped ring, and
 //	          concurrent streamed sessions; writes BENCH_session.json
+//	cluster   CL1: cache-affinity routing across tetrad replicas —
+//	          router + N tetrads on loopback under zipfian program
+//	          popularity, affinity vs random at N=1/2/4 (throughput,
+//	          latency, per-node cache hit rate), plus node-kill and
+//	          drain-mid-load phases; writes BENCH_cluster.json
 //	all       everything except limits and scaling (default)
 //
 // Each speedup experiment prints the wall-clock table (meaningful on a
@@ -67,7 +72,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, limits, scaling, opt, sem, vmreg, serve, isolate, tiered, session, or all")
+	exp := flag.String("exp", "all", "experiment: primes, tsp, ablation, limits, scaling, opt, sem, vmreg, serve, isolate, tiered, session, cluster, or all")
 	limit := flag.Int("limit", 200000, "E1: count primes below this limit")
 	fullScale := flag.Bool("paper-scale", false, "E1: use the paper's full workload (first million primes ⇒ limit 15485864); slow on the interpreter")
 	n := flag.Int("n", 10, "E2: number of TSP cities")
@@ -141,6 +146,12 @@ func run() int {
 			outPath = "BENCH_session.json"
 		}
 		return sessionExp(*quick, *reps, outPath)
+	case "cluster":
+		outPath := *out
+		if outPath == "BENCH_scaling.json" {
+			outPath = "BENCH_cluster.json"
+		}
+		return cluster(*quick, *reps, outPath)
 	case "all":
 		if rc := primes(*limit, workers, *reps); rc != 0 {
 			return rc
@@ -353,6 +364,23 @@ func sessionExp(quick bool, reps int, outPath string) int {
 	}
 	fmt.Print(bench.FormatSessionTable(rep))
 	if err := bench.WriteSessionJSON(outPath, rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("\nwrote %s\n", outPath)
+	return 0
+}
+
+func cluster(quick bool, reps int, outPath string) int {
+	fmt.Println("CL1: cache-affinity routing — router + N tetrads, zipfian program popularity,")
+	fmt.Println("     affinity vs random at N=1/2/4, plus node-kill and drain-mid-load phases")
+	rep, err := bench.ClusterExperiment(quick, reps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Print(bench.FormatClusterTable(rep))
+	if err := bench.WriteClusterJSON(outPath, rep); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}

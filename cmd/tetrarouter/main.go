@@ -1,0 +1,55 @@
+// Command tetrarouter is the cache-affinity front router for a fleet of
+// tetrad replicas. Each request's program content-hash — derived with the
+// same (source, opt level, IRVersion) key the compile cache uses — is
+// consistent-hashed onto the ring of healthy replicas, so every program's
+// traffic lands on one node and each node serves a warm cache shard
+// instead of every node serving a cold union.
+//
+// Usage:
+//
+//	tetrarouter -backends url[=weight],... [flags]
+//
+// Endpoints (the tetrad surface, proxied):
+//
+//	POST /run            routed by program content-hash (affinity) or
+//	                     uniformly (random); replies carry X-Tetra-Backend
+//	POST /session        routed like /run; the session's backend is
+//	                     pinned for the session's lifetime
+//	     /session/{id}/* sticky to the replica that owns the session
+//	GET  /metrics        the router's own counters: proxied, retries,
+//	                     spillovers, membership churn, per-backend latency
+//	GET  /healthz/live   200 while the router serves HTTP
+//	GET  /healthz/ready  200 iff not draining and at least one backend is
+//	                     in the ring (alias /healthz)
+//
+// Flags:
+//
+//	-addr           listen address (default :8700)
+//	-backends       comma-separated tetrad base URLs, each url[=weight]
+//	-policy         "affinity" (default) or "random"
+//	-vnodes         virtual nodes per unit of backend weight
+//	-probe-interval backend readiness poll interval (default 250ms)
+//	-max-inflight   per-backend proxy bound before spillover (default 128)
+//	-retries        connection-failure retries across ring nodes (default 2)
+//	-drain-grace    shutdown wait for in-flight proxies (default 10s)
+//
+// Membership is health-driven: each backend's /healthz/ready is polled
+// every probe interval, and a replica that begins a drain (readiness 503
+// while admissions stay open for the announce window) leaves the ring
+// before it stops accepting — no request is lost to a node that said it
+// was leaving. A replica that dies without announcing costs a bounded
+// retry on the next ring node, not a client-visible error.
+//
+// The implementation lives in internal/router and internal/cli so it can
+// be tested as a library.
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RouterMain(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,505 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/router"
+	"repro/internal/server"
+)
+
+// The cluster experiment (CL1): does cache-affinity routing actually buy
+// anything over random load balancing? An in-process cluster (router +
+// N tetrads on loopback) is driven with zipfian program popularity over
+// a corpus deliberately larger than one node's compile cache: under
+// random routing every node sees the whole corpus and thrashes its
+// cache; under affinity routing each node sees a 1/N shard that fits.
+// Two failure phases — a node SIGKILLed mid-load and a node draining
+// mid-load — measure what clients observe. Reported as
+// BENCH_cluster.json.
+
+// clusterPrograms is the corpus size; clusterCacheEntries caps each
+// node's compile cache. 64 programs against a 32-entry cache means the
+// corpus fits nowhere under random routing but every affinity shard fits
+// from N=2 up.
+const (
+	clusterPrograms     = 64
+	clusterCacheEntries = 32
+	clusterZipfS        = 1.1
+	clusterClients      = 16
+)
+
+// ClusterRow is one (policy, node count) measurement.
+type ClusterRow struct {
+	Policy          string    `json:"policy"`
+	Nodes           int       `json:"nodes"`
+	Requests        int       `json:"requests"` // completed 200s
+	Rejected        int       `json:"rejected"` // non-200 well-formed replies
+	WallNS          int64     `json:"wall_ns"`
+	Throughput      float64   `json:"throughput"` // requests per second
+	P50LatencyNS    int64     `json:"p50_latency_ns"`
+	P99LatencyNS    int64     `json:"p99_latency_ns"`
+	AggregateHits   uint64    `json:"aggregate_cache_hits"`
+	AggregateMisses uint64    `json:"aggregate_cache_misses"`
+	AggregateHit    float64   `json:"aggregate_cache_hit_rate"`
+	PerNodeHit      []float64 `json:"per_node_cache_hit_rate"`
+	PerNodeRequests []int64   `json:"per_node_requests"`
+}
+
+// ClusterPhase is one failure-injection phase at N=4 under affinity
+// routing: every client-visible anomaly is counted, and the contract is
+// that Malformed, TransportErrors and LostToDrain stay zero.
+type ClusterPhase struct {
+	Name            string `json:"name"`
+	Requests        int    `json:"requests"`
+	OK              int    `json:"ok"`
+	Rejected        int    `json:"rejected"`         // well-formed non-200 JSON errors
+	Malformed       int    `json:"malformed"`        // replies that failed to parse as the API shape
+	TransportErrors int    `json:"transport_errors"` // client-visible connection failures
+	LostToDrain     int    `json:"lost_to_drain"`    // replies rejected by a backend that had announced drain
+	RouterRetries   int64  `json:"router_retries"`
+	RouterSpillover int64  `json:"router_spillovers"`
+	Membership      int64  `json:"membership_changes"`
+}
+
+// ClusterReport is the BENCH_cluster.json document.
+type ClusterReport struct {
+	Experiment   string         `json:"experiment"`
+	HostCores    int            `json:"host_cores"`
+	Quick        bool           `json:"quick"`
+	Programs     int            `json:"programs"`
+	CacheEntries int            `json:"cache_entries_per_node"`
+	ZipfS        float64        `json:"zipf_s"`
+	Clients      int            `json:"clients"`
+	Rows         []ClusterRow   `json:"rows"`
+	Phases       []ClusterPhase `json:"phases"`
+	// Headline comparison at N=4: the numbers the affinity design stands
+	// or falls on.
+	AffinityN4HitRate    float64 `json:"affinity_n4_hit_rate"`
+	RandomN4HitRate      float64 `json:"random_n4_hit_rate"`
+	AffinityN4Throughput float64 `json:"affinity_n4_throughput"`
+	RandomN4Throughput   float64 `json:"random_n4_throughput"`
+}
+
+// clusterProgramSource generates program idx of the corpus: a long
+// straight-line body (compilation cost scales with it) with a trivial
+// runtime, so a compile-cache miss dominates a warm request and routing
+// policy is what the measurement sees.
+func clusterProgramSource(idx, stmts int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "def main():\n    s = %d\n", idx)
+	for i := 0; i < stmts; i++ {
+		fmt.Fprintf(&b, "    s = (s * 31 + %d) %% 1000003\n", idx*1000+i)
+	}
+	b.WriteString("    print(s)\n")
+	return b.String()
+}
+
+// clusterCluster is one booted in-process cluster.
+type clusterCluster struct {
+	rt      *router.Router
+	front   *httptest.Server
+	servers []*server.Server
+	tss     []*httptest.Server
+}
+
+func bootCluster(n int, policy string, announce time.Duration) (*clusterCluster, error) {
+	c := &clusterCluster{}
+	var backends []router.Backend
+	for i := 0; i < n; i++ {
+		srv := server.New(server.Options{
+			CacheEntries: clusterCacheEntries,
+			MaxInFlight:  8,
+			MaxQueue:     1024,
+			QueueTimeout: 30 * time.Second,
+			DrainGrace:   5 * time.Second,
+			// The announce window is what makes mid-load drain lossless:
+			// readiness flips 503 while admissions stay open, and the
+			// router (25ms probes) stops sending long before they close.
+			DrainAnnounce: announce,
+		})
+		ts := httptest.NewServer(srv)
+		c.servers = append(c.servers, srv)
+		c.tss = append(c.tss, ts)
+		backends = append(backends, router.Backend{ID: fmt.Sprintf("n%d", i), URL: ts.URL})
+	}
+	rt, err := router.New(router.Options{
+		Backends:      backends,
+		Policy:        policy,
+		ProbeInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		c.close()
+		return nil, err
+	}
+	c.rt = rt
+	c.front = httptest.NewServer(rt)
+	deadline := time.Now().Add(10 * time.Second)
+	for rt.Ring().Len() < n {
+		if time.Now().After(deadline) {
+			c.close()
+			return nil, fmt.Errorf("cluster: ring never reached %d members", n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return c, nil
+}
+
+func (c *clusterCluster) close() {
+	if c.rt != nil {
+		_ = c.rt.Close()
+	}
+	if c.front != nil {
+		c.front.Close()
+	}
+	for i, srv := range c.servers {
+		_ = srv.Drain(nil)
+		c.tss[i].Close()
+	}
+}
+
+// zipfSequence precomputes a deterministic program-index stream shared
+// by every measurement point, so affinity and random race on identical
+// workloads.
+func zipfSequence(total int) []int {
+	rng := rand.New(rand.NewSource(1))
+	z := rand.NewZipf(rng, clusterZipfS, 1, clusterPrograms-1)
+	seq := make([]int, total)
+	for i := range seq {
+		seq[i] = int(z.Uint64())
+	}
+	return seq
+}
+
+// ClusterExperiment measures affinity vs random routing at N=1,2,4 and
+// runs the node-kill and drain-mid-load phases.
+func ClusterExperiment(quick bool, reps int) (*ClusterReport, error) {
+	perPoint := 4000
+	phaseTotal := 1200
+	stmts := 150
+	if quick {
+		perPoint = 800
+		phaseTotal = 400
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	rep := &ClusterReport{
+		Experiment:   "cluster: cache-affinity vs random routing across tetrad replicas (zipfian load)",
+		HostCores:    runtime.GOMAXPROCS(0),
+		Quick:        quick,
+		Programs:     clusterPrograms,
+		CacheEntries: clusterCacheEntries,
+		ZipfS:        clusterZipfS,
+		Clients:      clusterClients,
+	}
+
+	bodies := make([][]byte, clusterPrograms)
+	for i := range bodies {
+		body, err := json.Marshal(server.RunRequest{
+			Source:  clusterProgramSource(i, stmts),
+			File:    fmt.Sprintf("cluster%02d.ttr", i),
+			Backend: server.BackendVM,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = body
+	}
+	seq := zipfSequence(perPoint)
+	warm := zipfSequence(perPoint / 4)
+
+	for _, policy := range []string{router.PolicyAffinity, router.PolicyRandom} {
+		for _, n := range []int{1, 2, 4} {
+			best := ClusterRow{}
+			for r := 0; r < reps; r++ {
+				row, err := clusterPoint(policy, n, bodies, warm, seq)
+				if err != nil {
+					return nil, err
+				}
+				if best.WallNS == 0 || row.WallNS < best.WallNS {
+					best = row
+				}
+			}
+			rep.Rows = append(rep.Rows, best)
+			if best.Nodes == 4 {
+				if best.Policy == router.PolicyAffinity {
+					rep.AffinityN4HitRate = best.AggregateHit
+					rep.AffinityN4Throughput = best.Throughput
+				} else {
+					rep.RandomN4HitRate = best.AggregateHit
+					rep.RandomN4Throughput = best.Throughput
+				}
+			}
+		}
+	}
+
+	kill, err := clusterFailurePhase("node-kill", bodies, phaseTotal, func(c *clusterCluster) {
+		// SIGKILL equivalent for an in-process node: the listener dies and
+		// every open connection is severed mid-flight, no announcement.
+		c.tss[1].CloseClientConnections()
+		c.tss[1].Close()
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Phases = append(rep.Phases, *kill)
+
+	drain, err := clusterFailurePhase("drain-mid-load", bodies, phaseTotal, func(c *clusterCluster) {
+		go c.servers[2].Drain(nil)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Phases = append(rep.Phases, *drain)
+	return rep, nil
+}
+
+// clusterPoint boots a fresh cluster, warms it with a quarter-length
+// zipf stream, then measures the shared measurement stream.
+func clusterPoint(policy string, n int, bodies [][]byte, warm, seq []int) (ClusterRow, error) {
+	c, err := bootCluster(n, policy, 0)
+	if err != nil {
+		return ClusterRow{}, err
+	}
+	defer c.close()
+
+	if err := clusterDrive(c.front.URL, bodies, warm, nil); err != nil {
+		return ClusterRow{}, err
+	}
+	// Snapshot cache counters so the row reports the measured window only.
+	type cacheBase struct{ hits, misses uint64 }
+	base := make([]cacheBase, n)
+	reqBase := make([]int64, n)
+	for i, srv := range c.servers {
+		m := srv.Metrics()
+		base[i] = cacheBase{m.Cache.Hits, m.Cache.Misses}
+		reqBase[i] = m.Requests
+	}
+
+	latencies := make([]time.Duration, len(seq))
+	var rejected atomic.Int64
+	start := time.Now()
+	if err := clusterDrive(c.front.URL, bodies, seq, func(i, status int, d time.Duration) {
+		latencies[i] = d
+		if status != http.StatusOK {
+			rejected.Add(1)
+		}
+	}); err != nil {
+		return ClusterRow{}, err
+	}
+	wall := time.Since(start)
+
+	row := ClusterRow{
+		Policy:     policy,
+		Nodes:      n,
+		Requests:   len(seq) - int(rejected.Load()),
+		Rejected:   int(rejected.Load()),
+		WallNS:     wall.Nanoseconds(),
+		Throughput: float64(len(seq)) / wall.Seconds(),
+	}
+	for i, srv := range c.servers {
+		m := srv.Metrics()
+		hits := m.Cache.Hits - base[i].hits
+		misses := m.Cache.Misses - base[i].misses
+		row.AggregateHits += hits
+		row.AggregateMisses += misses
+		rate := 0.0
+		if hits+misses > 0 {
+			rate = float64(hits) / float64(hits+misses)
+		}
+		row.PerNodeHit = append(row.PerNodeHit, rate)
+		row.PerNodeRequests = append(row.PerNodeRequests, m.Requests-reqBase[i])
+	}
+	if t := row.AggregateHits + row.AggregateMisses; t > 0 {
+		row.AggregateHit = float64(row.AggregateHits) / float64(t)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	row.P50LatencyNS = latencies[len(latencies)/2].Nanoseconds()
+	row.P99LatencyNS = latencies[len(latencies)*99/100].Nanoseconds()
+	return row, nil
+}
+
+// clusterDrive replays a program-index stream through the front door
+// with clusterClients concurrent clients. observe (when set) receives
+// (stream index, HTTP status, latency) per request; transport errors are
+// returned.
+func clusterDrive(url string, bodies [][]byte, seq []int, observe func(i, status int, d time.Duration)) error {
+	var next atomic.Int64
+	errCh := make(chan error, clusterClients)
+	var wg sync.WaitGroup
+	for c := 0; c < clusterClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(seq) {
+					return
+				}
+				startReq := time.Now()
+				resp, err := http.Post(url+"/run", "application/json", bytes.NewReader(bodies[seq[i]]))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var rr server.RunResponse
+				dec := json.NewDecoder(resp.Body)
+				if resp.StatusCode == http.StatusOK {
+					if err := dec.Decode(&rr); err != nil {
+						resp.Body.Close()
+						errCh <- fmt.Errorf("bad 200 body: %w", err)
+						return
+					}
+				}
+				resp.Body.Close()
+				if observe != nil {
+					observe(i, resp.StatusCode, time.Since(startReq))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// clusterFailurePhase drives the zipf stream at N=4 under affinity
+// routing and triggers the failure at 40% completion, tallying what
+// clients observe.
+func clusterFailurePhase(name string, bodies [][]byte, total int, failure func(*clusterCluster)) (*ClusterPhase, error) {
+	c, err := bootCluster(4, router.PolicyAffinity, 750*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	defer c.close()
+	seq := zipfSequence(total)
+	if err := clusterDrive(c.front.URL, bodies, seq[:total/4], nil); err != nil {
+		return nil, err
+	}
+
+	ph := &ClusterPhase{Name: name, Requests: total}
+	var done, ok, rejected, malformed, transport, lost atomic.Int64
+	fired := make(chan struct{})
+	go func() {
+		for done.Load() < int64(total*40/100) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		failure(c)
+		close(fired)
+	}()
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for cl := 0; cl < clusterClients; cl++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{Timeout: 60 * time.Second}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(seq) {
+					return
+				}
+				resp, err := client.Post(c.front.URL+"/run", "application/json", bytes.NewReader(bodies[seq[i]]))
+				if err != nil {
+					transport.Add(1)
+					done.Add(1)
+					continue
+				}
+				body := new(bytes.Buffer)
+				if _, err := body.ReadFrom(resp.Body); err != nil {
+					transport.Add(1)
+					resp.Body.Close()
+					done.Add(1)
+					continue
+				}
+				resp.Body.Close()
+				done.Add(1)
+				if resp.StatusCode == http.StatusOK {
+					var rr server.RunResponse
+					if json.Unmarshal(body.Bytes(), &rr) != nil || !rr.OK {
+						malformed.Add(1)
+					} else {
+						ok.Add(1)
+					}
+					continue
+				}
+				var er server.ErrorResponse
+				if json.Unmarshal(body.Bytes(), &er) != nil || er.Code != resp.StatusCode || er.Error == "" {
+					malformed.Add(1)
+					continue
+				}
+				rejected.Add(1)
+				if strings.Contains(er.Error, "draining") && resp.Header.Get("X-Tetra-Backend") != "" {
+					// A backend that announced its drain still rejected us:
+					// the router failed the drain-announce contract.
+					lost.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-fired
+
+	m := c.rt.Metrics()
+	ph.OK = int(ok.Load())
+	ph.Rejected = int(rejected.Load())
+	ph.Malformed = int(malformed.Load())
+	ph.TransportErrors = int(transport.Load())
+	ph.LostToDrain = int(lost.Load())
+	ph.RouterRetries = m.Retries
+	ph.RouterSpillover = m.Spillovers
+	ph.Membership = m.Membership
+	return ph, nil
+}
+
+// WriteClusterJSON writes the report for committing as BENCH_cluster.json.
+func WriteClusterJSON(path string, rep *ClusterReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatClusterTable renders the report for the terminal.
+func FormatClusterTable(rep *ClusterReport) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "  %d programs, %d cache entries/node, zipf s=%.1f, %d clients, %d host cores\n",
+		rep.Programs, rep.CacheEntries, rep.ZipfS, rep.Clients, rep.HostCores)
+	fmt.Fprintf(&b, "  %-9s %-6s %10s %12s %12s %10s  %s\n",
+		"policy", "nodes", "req/s", "p50", "p99", "hit rate", "per-node hit rate")
+	for _, r := range rep.Rows {
+		per := make([]string, len(r.PerNodeHit))
+		for i, h := range r.PerNodeHit {
+			per[i] = fmt.Sprintf("%.2f", h)
+		}
+		fmt.Fprintf(&b, "  %-9s %-6d %10.1f %12s %12s %10.3f  [%s]\n",
+			r.Policy, r.Nodes, r.Throughput,
+			time.Duration(r.P50LatencyNS).Round(10*time.Microsecond),
+			time.Duration(r.P99LatencyNS).Round(10*time.Microsecond),
+			r.AggregateHit, strings.Join(per, " "))
+	}
+	for _, p := range rep.Phases {
+		fmt.Fprintf(&b, "  phase %-14s %d req: %d ok, %d rejected, %d malformed, %d transport errors, %d lost to drain (retries=%d spillovers=%d)\n",
+			p.Name, p.Requests, p.OK, p.Rejected, p.Malformed, p.TransportErrors, p.LostToDrain,
+			p.RouterRetries, p.RouterSpillover)
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/router"
+	"repro/internal/server"
+)
+
+func clusterTestBodies(t *testing.T) [][]byte {
+	t.Helper()
+	bodies := make([][]byte, clusterPrograms)
+	for i := range bodies {
+		body, err := json.Marshal(server.RunRequest{
+			Source:  clusterProgramSource(i, 20),
+			File:    fmt.Sprintf("cluster%02d.ttr", i),
+			Backend: server.BackendVM,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[i] = body
+	}
+	return bodies
+}
+
+// TestClusterPointShape drives one scaled-down measurement point per
+// policy and checks the row invariants the full experiment relies on.
+func TestClusterPointShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a 2-node cluster; skipped in -short")
+	}
+	bodies := clusterTestBodies(t)
+	warm := zipfSequence(40)
+	seq := zipfSequence(160)
+	for _, policy := range []string{router.PolicyAffinity, router.PolicyRandom} {
+		row, err := clusterPoint(policy, 2, bodies, warm, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.Policy != policy || row.Nodes != 2 {
+			t.Errorf("row labels %+v", row)
+		}
+		if row.Requests+row.Rejected != len(seq) {
+			t.Errorf("%s: requests %d + rejected %d != %d", policy, row.Requests, row.Rejected, len(seq))
+		}
+		if len(row.PerNodeHit) != 2 || len(row.PerNodeRequests) != 2 {
+			t.Errorf("%s: per-node arrays sized %d/%d, want 2", policy, len(row.PerNodeHit), len(row.PerNodeRequests))
+		}
+		if row.AggregateHit < 0 || row.AggregateHit > 1 {
+			t.Errorf("%s: hit rate %f out of range", policy, row.AggregateHit)
+		}
+		if row.Throughput <= 0 || row.WallNS <= 0 || row.P50LatencyNS <= 0 || row.P99LatencyNS < row.P50LatencyNS {
+			t.Errorf("%s: implausible timing %+v", policy, row)
+		}
+		var total int64
+		for _, n := range row.PerNodeRequests {
+			total += n
+		}
+		if total != int64(len(seq)) {
+			t.Errorf("%s: per-node requests sum to %d, want %d", policy, total, len(seq))
+		}
+	}
+}
+
+// TestClusterFailurePhaseContracts runs scaled-down kill and drain
+// phases and pins the zero-anomaly contracts the committed
+// BENCH_cluster.json claims.
+func TestClusterFailurePhaseContracts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots 4-node clusters; skipped in -short")
+	}
+	bodies := clusterTestBodies(t)
+	kill, err := clusterFailurePhase("node-kill", bodies, 200, func(c *clusterCluster) {
+		c.tss[1].CloseClientConnections()
+		c.tss[1].Close()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain, err := clusterFailurePhase("drain-mid-load", bodies, 200, func(c *clusterCluster) {
+		go c.servers[2].Drain(nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range []*ClusterPhase{kill, drain} {
+		if ph.OK+ph.Rejected+ph.Malformed+ph.TransportErrors != ph.Requests {
+			t.Errorf("%s: replies don't account for all requests: %+v", ph.Name, ph)
+		}
+		if ph.Malformed != 0 {
+			t.Errorf("%s: %d malformed replies", ph.Name, ph.Malformed)
+		}
+		if ph.TransportErrors != 0 {
+			t.Errorf("%s: %d client-visible transport errors", ph.Name, ph.TransportErrors)
+		}
+		if ph.LostToDrain != 0 {
+			t.Errorf("%s: %d requests lost to a draining node", ph.Name, ph.LostToDrain)
+		}
+	}
+}

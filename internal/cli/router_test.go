@@ -1,0 +1,126 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func TestParseBackends(t *testing.T) {
+	good, err := ParseBackends("http://a:1=2, http://b:2 ,http://c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(good) != 3 || good[0].Weight != 2 || good[0].URL != "http://a:1" ||
+		good[1].Weight != 1 || good[1].URL != "http://b:2" {
+		t.Errorf("parsed %+v", good)
+	}
+	for _, bad := range []string{"", "  ", "http://a:1=0", "http://a:1=x", "http://a:1=-3"} {
+		if _, err := ParseBackends(bad); err == nil {
+			t.Errorf("ParseBackends(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRouterMainBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if rc := RouterMain([]string{"-no-such-flag"}, &out, &errOut); rc != 2 {
+		t.Errorf("bad flag: exit %d, want 2", rc)
+	}
+	if rc := RouterMain(nil, &out, &errOut); rc != 2 {
+		t.Errorf("missing -backends: exit %d, want 2", rc)
+	}
+	if rc := RouterMain([]string{"-backends", "http://x:1", "positional"}, &out, &errOut); rc != 2 {
+		t.Errorf("positional arg: exit %d, want 2", rc)
+	}
+	if rc := RouterMain([]string{"-backends", "http://x:1", "-policy", "round-robin"}, &out, &errOut); rc != 2 {
+		t.Errorf("bad policy: exit %d, want 2", rc)
+	}
+}
+
+// TestRouterMainBootsAndDrains boots tetrarouter through the CLI layer
+// in front of one in-process tetrad, runs a program through it over
+// HTTP, then stops it and requires a clean drain (exit 0).
+func TestRouterMainBootsAndDrains(t *testing.T) {
+	backend := httptest.NewServer(server.New(server.Options{}))
+	defer backend.Close()
+
+	var out syncBuffer
+	var errOut bytes.Buffer
+	stop := make(chan struct{})
+	done := make(chan int, 1)
+	go func() {
+		done <- routerMain([]string{
+			"-addr", "127.0.0.1:0",
+			"-backends", backend.URL + "=2",
+			"-probe-interval", "20ms",
+		}, &out, &errOut, stop)
+	}()
+
+	addrRe := regexp.MustCompile(`listening on (\S+)`)
+	var addr string
+	for i := 0; i < 100; i++ {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("no listen banner; stdout:\n%s\nstderr:\n%s", out.String(), errOut.String())
+	}
+
+	// Wait for the backend to join the ring (readiness follows probes).
+	ready := false
+	for i := 0; i < 200 && !ready; i++ {
+		resp, err := http.Get("http://" + addr + "/healthz/ready")
+		if err == nil {
+			ready = resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !ready {
+		t.Fatalf("router never became ready; stdout:\n%s", out.String())
+	}
+
+	resp, err := http.Post("http://"+addr+"/run", "application/json",
+		strings.NewReader(`{"source": "def main():\n    print(40 + 2)\n"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr struct {
+		OK     bool   `json:"ok"`
+		Stdout string `json:"stdout"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.OK || rr.Stdout != "42\n" {
+		t.Errorf("got %+v", rr)
+	}
+	if resp.Header.Get("X-Tetra-Backend") == "" {
+		t.Error("reply through tetrarouter missing X-Tetra-Backend")
+	}
+
+	close(stop)
+	select {
+	case rc := <-done:
+		if rc != 0 {
+			t.Errorf("exit %d, want 0\nstderr:\n%s", rc, errOut.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("routerMain did not exit after stop")
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Errorf("missing drain confirmation:\n%s", out.String())
+	}
+}

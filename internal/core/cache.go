@@ -2,6 +2,8 @@ package core
 
 import (
 	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"sync"
 
 	"repro/internal/ast"
@@ -54,6 +56,22 @@ type bcKey struct {
 // the current IR version.
 func newBCKey(file, src string, level int) bcKey {
 	return bcKey{hash: sourceKey(file, src), level: level, ir: bytecode.IRVersion}
+}
+
+// CacheKey returns the stable hex content-hash key for (file, src) at one
+// optimization level — the same derivation the bytecode table keys entries
+// by (source content hash, level, IRVersion), rendered as a string for use
+// outside this package. A front router that consistent-hashes this key
+// across replicas sends every request for one program to the replica whose
+// compile cache is already warm on it, and an IR bump re-shards exactly
+// like it re-keys the cache.
+func CacheKey(file, src string, level int) string {
+	k := newBCKey(file, src, level)
+	h := sha256.New()
+	h.Write(k.hash[:])
+	fmt.Fprintf(h, ":%d:%d", k.level, k.ir)
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
 }
 
 // DefaultCacheEntries bounds a cache built with NewCompileCache(0).

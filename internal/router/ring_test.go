@@ -1,0 +1,187 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// corpus returns a fixed, deterministic 10k-key corpus: synthetic
+// program cache keys, which is what the router actually hashes.
+func corpus() []string {
+	keys := make([]string, 10000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("prog-cache-key-%06d", i)
+	}
+	return keys
+}
+
+// TestRingDistributionBounds checks that key shares across 1–16 nodes
+// stay near each member's weight-fair share at the default vnode count.
+func TestRingDistributionBounds(t *testing.T) {
+	keys := corpus()
+	for n := 1; n <= 16; n++ {
+		r := NewRing(0)
+		totalWeight := 0
+		for i := 0; i < n; i++ {
+			w := 1 + i%3 // weights 1..3, deterministic mix
+			r.Add(fmt.Sprintf("node-%d", i), w)
+			totalWeight += w
+		}
+		counts := make(map[string]int)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("node-%d", i)
+			w := 1 + i%3
+			fair := float64(len(keys)) * float64(w) / float64(totalWeight)
+			got := float64(counts[id])
+			if got < fair*0.6 || got > fair*1.5 {
+				t.Errorf("n=%d: %s (weight %d) owns %.0f keys, weight-fair share is %.0f (allowed [%.0f, %.0f])",
+					n, id, w, got, fair, fair*0.6, fair*1.5)
+			}
+		}
+	}
+}
+
+// TestRingWeightScalesShare pins the capacity-weighting contract: a
+// weight-2 member owns about twice the keys of a weight-1 member.
+func TestRingWeightScalesShare(t *testing.T) {
+	keys := corpus()
+	r := NewRing(0)
+	r.Add("small", 1)
+	r.Add("big", 2)
+	counts := make(map[string]int)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	ratio := float64(counts["big"]) / float64(counts["small"])
+	if ratio < 1.5 || ratio > 2.7 {
+		t.Fatalf("weight-2/weight-1 key ratio = %.2f (big=%d small=%d), want ~2.0",
+			ratio, counts["big"], counts["small"])
+	}
+}
+
+// TestRingChurnMinimalDisruption is the consistent-hashing property
+// itself: membership changes remap only the departing/arriving member's
+// share, never shuffle keys between surviving members.
+func TestRingChurnMinimalDisruption(t *testing.T) {
+	keys := corpus()
+	const n = 8
+	r := NewRing(0)
+	for i := 0; i < n; i++ {
+		r.Add(fmt.Sprintf("node-%d", i), 1)
+	}
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+
+	// Removing a node: its keys scatter to survivors; every key owned by
+	// a survivor must not move at all. This is structural, so assert it
+	// exactly — zero tolerance.
+	r.Remove("node-3")
+	moved := 0
+	for _, k := range keys {
+		after := r.Owner(k)
+		if before[k] == "node-3" {
+			moved++
+			if after == "node-3" {
+				t.Fatalf("key %q still assigned to removed node", k)
+			}
+		} else if after != before[k] {
+			t.Fatalf("key %q moved %s -> %s though neither node changed", k, before[k], after)
+		}
+	}
+	if want := len(keys) / n; moved < want/2 || moved > want*2 {
+		t.Errorf("removal moved %d keys, expected about 1/%d of %d (~%d)", moved, n, len(keys), want)
+	}
+
+	// Adding the node back restores the original assignment exactly
+	// (placement is a pure function of membership)...
+	r.Add("node-3", 1)
+	for _, k := range keys {
+		if got := r.Owner(k); got != before[k] {
+			t.Fatalf("after re-add, key %q owned by %s, originally %s", k, got, before[k])
+		}
+	}
+
+	// ...and adding a brand-new node moves keys only TO the new node,
+	// about 1/(n+1) of them.
+	r.Add("node-new", 1)
+	gained := 0
+	for _, k := range keys {
+		after := r.Owner(k)
+		if after == "node-new" {
+			gained++
+		} else if after != before[k] {
+			t.Fatalf("key %q moved %s -> %s on unrelated add", k, before[k], after)
+		}
+	}
+	want := len(keys) / (n + 1)
+	if gained < want*3/10 || gained > want*22/10 {
+		t.Errorf("add moved %d keys to the new node, expected about 1/%d of %d (~%d)", gained, n+1, len(keys), want)
+	}
+}
+
+// TestRingDeterministicGolden pins absolute placement: the ring has no
+// seed and no process state, so these assignments must be identical in
+// every build on every machine. If this test breaks, a ring change just
+// invalidated every warm cache in every deployed fleet — change it
+// knowingly or not at all.
+func TestRingDeterministicGolden(t *testing.T) {
+	r := NewRing(0)
+	r.Add("a", 1)
+	r.Add("b", 1)
+	r.Add("c", 2)
+	golden := map[string]string{
+		"prog-cache-key-000000": "c",
+		"prog-cache-key-000001": "a",
+		"prog-cache-key-000002": "a",
+		"prog-cache-key-000003": "a",
+		"prog-cache-key-000004": "a",
+		"prog-cache-key-000005": "b",
+		"prog-cache-key-000006": "a",
+		"prog-cache-key-000007": "c",
+	}
+	for k, want := range golden {
+		if got := r.Owner(k); got != want {
+			t.Errorf("Owner(%q) = %q, golden says %q", k, got, want)
+		}
+	}
+	// Lookup order is the spillover order; pin one.
+	if got := r.Lookup("prog-cache-key-000000", 0); len(got) != 3 || got[0] != "c" {
+		t.Errorf("Lookup full order = %v, want 3 members starting with c", got)
+	}
+}
+
+// TestRingLookupProperties covers the Lookup API contract.
+func TestRingLookupProperties(t *testing.T) {
+	r := NewRing(4)
+	if got := r.Lookup("x", 3); got != nil {
+		t.Fatalf("empty ring Lookup = %v, want nil", got)
+	}
+	if got := r.Owner("x"); got != "" {
+		t.Fatalf("empty ring Owner = %q, want \"\"", got)
+	}
+	r.Add("a", 1)
+	r.Add("b", 1)
+	r.Add("c", 1)
+	got := r.Lookup("some-key", 0)
+	if len(got) != 3 {
+		t.Fatalf("Lookup(_, 0) = %v, want all 3 members", got)
+	}
+	seen := map[string]bool{}
+	for _, id := range got {
+		if seen[id] {
+			t.Fatalf("Lookup returned duplicate %q in %v", id, got)
+		}
+		seen[id] = true
+	}
+	if got2 := r.Lookup("some-key", 2); len(got2) != 2 || got2[0] != got[0] || got2[1] != got[1] {
+		t.Fatalf("Lookup(_, 2) = %v, want prefix of %v", got2, got)
+	}
+	if gotN := r.Lookup("some-key", 99); len(gotN) != 3 {
+		t.Fatalf("Lookup(_, 99) = %v, want clamped to membership", gotN)
+	}
+}

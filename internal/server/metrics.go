@@ -66,6 +66,20 @@ func (h *histogram) snapshot() HistogramSnapshot {
 	return s
 }
 
+// Histogram is the exported form of the fixed-bucket latency histogram —
+// the same buckets the /metrics histograms use — so other components (the
+// front router) can record and publish latencies in the same JSON shape.
+// The zero value is ready to use and safe for concurrent use.
+type Histogram struct {
+	h histogram
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) { h.h.observe(d) }
+
+// Snapshot exports the current state.
+func (h *Histogram) Snapshot() HistogramSnapshot { return h.h.snapshot() }
+
 // crashRingSize bounds the crash-forensics ring: the last N worker
 // crashes, each tagged with the request ID that triggered it.
 const crashRingSize = 16

@@ -385,7 +385,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	reqID := requestIDFrom(r)
+	reqID := RequestIDFrom(r)
 	w.Header().Set("X-Request-ID", reqID)
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST /run with a JSON body")
@@ -394,6 +394,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.met.requests.Add(1)
 	if s.draining.Load() {
 		s.met.rejected503.Add(1)
+		// A draining node is moments from handing its shard to a peer:
+		// the jittered Retry-After tells routers and clients when to try
+		// again without returning in lockstep.
+		w.Header().Set("Retry-After", strconv.Itoa(1+mrand.Intn(3)))
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
@@ -441,6 +445,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Retry-After", strconv.Itoa(1+mrand.Intn(3)))
 		} else {
 			s.met.rejected503.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(1+mrand.Intn(3)))
 		}
 		writeError(w, status, msg)
 		return
@@ -945,10 +950,11 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// requestIDFrom accepts a well-formed client X-Request-ID or generates
+// RequestIDFrom accepts a well-formed client X-Request-ID or generates
 // one, so every response and every crash-forensics record carries a
-// correlation handle.
-func requestIDFrom(r *http.Request) string {
+// correlation handle. Exported so the front router derives IDs at the
+// edge with identical rules and forwards them here.
+func RequestIDFrom(r *http.Request) string {
 	id := r.Header.Get("X-Request-ID")
 	if id != "" && len(id) <= 128 && printableToken(id) {
 		return id

@@ -169,7 +169,7 @@ type SessionSnapshot struct {
 }
 
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
-	reqID := requestIDFrom(r)
+	reqID := RequestIDFrom(r)
 	w.Header().Set("X-Request-ID", reqID)
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST /session with a JSON body")

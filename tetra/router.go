@@ -1,0 +1,41 @@
+package tetra
+
+import (
+	"repro/internal/router"
+)
+
+// RouterOptions configures the cache-affinity front router for a fleet
+// of tetrad replicas: the backend list, the routing policy (affinity by
+// consistent-hashed program content, or random), health-probe cadence,
+// the per-backend in-flight bound (overflow spills to the next ring
+// node) and the connection-failure retry budget.
+type RouterOptions = router.Options
+
+// RouterBackend names one tetrad replica behind the router.
+type RouterBackend = router.Backend
+
+// Router is the tetrarouter HTTP handler: mount it on any mux, or run
+// the tetrarouter binary. Membership is health-driven — replicas join
+// the hash ring as their readiness probe succeeds and leave it the
+// moment they announce a drain or stop answering.
+type Router = router.Router
+
+// RouterMetrics is the snapshot served by the router's GET /metrics.
+type RouterMetrics = router.MetricsSnapshot
+
+// Routing policies for RouterOptions.Policy.
+const (
+	// RouteAffinity consistent-hashes each program's content-hash (the
+	// compile-cache key derivation) onto the replica ring, so every
+	// program's traffic lands on one warm node. The default.
+	RouteAffinity = router.PolicyAffinity
+	// RouteRandom sends each request to a uniformly random ready
+	// replica.
+	RouteRandom = router.PolicyRandom
+)
+
+// NewRouter returns a front router over opts.Backends. Replicas are
+// admitted to the ring by their first successful readiness probe, so a
+// router booted before its fleet serves well-formed 503s until a node
+// comes up. Shut down with its Close (or Drain) method.
+func NewRouter(opts RouterOptions) (*Router, error) { return router.New(opts) }
